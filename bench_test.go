@@ -1,0 +1,147 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation section (one benchmark per artifact), at a reduced
+// statistical budget so the whole suite completes in minutes. Each benchmark
+// reports the headline quantity of its table/figure as a custom metric so
+// `go test -bench . -benchmem` doubles as a quick reproduction run; the
+// full-fidelity numbers are produced by `go run ./cmd/experiments` and are
+// recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// benchConfig is the reduced budget used by the benchmarks: one run of a few
+// simulated seconds per scheme. The paper's budget (128 runs of 100 s) is
+// available through cmd/experiments -paper.
+func benchConfig() exp.RunConfig {
+	cfg := exp.QuickRunConfig()
+	cfg.Runs = 1
+	cfg.Duration = 5 * sim.Second
+	cfg.Workers = 2
+	return cfg
+}
+
+// runExperimentBench runs one registered experiment per iteration and
+// reports how many schemes and output lines it produced.
+func runExperimentBench(b *testing.B, id string) exp.Report {
+	b.Helper()
+	e, err := exp.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	var rep exp.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(rep.Lines)), "lines")
+	return rep
+}
+
+// reportScheme attaches a scheme's median throughput and queueing delay to
+// the benchmark output.
+func reportScheme(b *testing.B, rep exp.Report, scheme, prefix string) {
+	if s, ok := rep.Scheme(scheme); ok {
+		b.ReportMetric(s.MedianThroughput(), prefix+"_mbps")
+		b.ReportMetric(s.MedianDelay(), prefix+"_delay_ms")
+	}
+}
+
+// BenchmarkFigure3FlowLengthCDF regenerates Figure 3 (the Pareto fit of the
+// ICSI flow-length distribution).
+func BenchmarkFigure3FlowLengthCDF(b *testing.B) {
+	runExperimentBench(b, "fig3")
+}
+
+// BenchmarkTable1DumbbellSpeedups regenerates the first §1 summary table:
+// RemyCC (δ=0.1) median speedups over existing protocols on the 15 Mbps,
+// n=8 dumbbell.
+func BenchmarkTable1DumbbellSpeedups(b *testing.B) {
+	rep := runExperimentBench(b, "table1")
+	reportScheme(b, rep, "remy-d0.1", "remy")
+	reportScheme(b, rep, "cubic", "cubic")
+}
+
+// BenchmarkTable2CellularSpeedups regenerates the second §1 summary table on
+// the Verizon-like LTE downlink with four senders.
+func BenchmarkTable2CellularSpeedups(b *testing.B) {
+	rep := runExperimentBench(b, "table2")
+	reportScheme(b, rep, "remy-d1", "remy")
+	reportScheme(b, rep, "cubic", "cubic")
+}
+
+// BenchmarkFigure4Dumbbell8 regenerates the n=8 dumbbell throughput–delay
+// plot (Figure 4).
+func BenchmarkFigure4Dumbbell8(b *testing.B) {
+	rep := runExperimentBench(b, "fig4")
+	reportScheme(b, rep, "remy-d0.1", "remy")
+	reportScheme(b, rep, "vegas", "vegas")
+}
+
+// BenchmarkFigure5Dumbbell12 regenerates the n=12 dumbbell plot with ICSI
+// flow lengths (Figure 5).
+func BenchmarkFigure5Dumbbell12(b *testing.B) {
+	rep := runExperimentBench(b, "fig5")
+	reportScheme(b, rep, "remy-d1", "remy")
+}
+
+// BenchmarkFigure6SequencePlot regenerates the sequence plot of a RemyCC
+// flow reacting to departing cross traffic (Figure 6).
+func BenchmarkFigure6SequencePlot(b *testing.B) {
+	runExperimentBench(b, "fig6")
+}
+
+// BenchmarkFigure7VerizonN4 regenerates the Verizon-like LTE, n=4 plot
+// (Figure 7).
+func BenchmarkFigure7VerizonN4(b *testing.B) {
+	rep := runExperimentBench(b, "fig7")
+	reportScheme(b, rep, "remy-d1", "remy")
+}
+
+// BenchmarkFigure8VerizonN8 regenerates the Verizon-like LTE, n=8 plot
+// (Figure 8).
+func BenchmarkFigure8VerizonN8(b *testing.B) {
+	rep := runExperimentBench(b, "fig8")
+	reportScheme(b, rep, "remy-d1", "remy")
+}
+
+// BenchmarkFigure9ATTN4 regenerates the AT&T-like LTE, n=4 plot (Figure 9).
+func BenchmarkFigure9ATTN4(b *testing.B) {
+	rep := runExperimentBench(b, "fig9")
+	reportScheme(b, rep, "remy-d1", "remy")
+}
+
+// BenchmarkFigure10RTTFairness regenerates the RTT-fairness comparison
+// (Figure 10).
+func BenchmarkFigure10RTTFairness(b *testing.B) {
+	runExperimentBench(b, "fig10")
+}
+
+// BenchmarkTable3Datacenter regenerates the §5.5 datacenter table (DCTCP vs
+// RemyCC) at a scaled duration.
+func BenchmarkTable3Datacenter(b *testing.B) {
+	rep := runExperimentBench(b, "table3")
+	reportScheme(b, rep, "remy-dc", "remy")
+	reportScheme(b, rep, "dctcp", "dctcp")
+}
+
+// BenchmarkTable4Competing regenerates the §5.6 competing-protocols tables.
+func BenchmarkTable4Competing(b *testing.B) {
+	runExperimentBench(b, "table4")
+}
+
+// BenchmarkFigure11DesignRange regenerates the prior-knowledge sensitivity
+// study (Figure 11).
+func BenchmarkFigure11DesignRange(b *testing.B) {
+	runExperimentBench(b, "fig11")
+}

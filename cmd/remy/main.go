@@ -1,0 +1,142 @@
+// Command remy runs the offline Remy design procedure: given a network model
+// (prior assumptions), a traffic model, and an objective function, it
+// searches for a RemyCC rule table and writes it as JSON.
+//
+// Presets matching the paper's experiments are built in:
+//
+//	remy -preset delta0.1 -out assets/remycc_delta0.1.json
+//	remy -preset dc -rounds 6 -budget 0.1 -out assets/remycc_dc.json
+//
+// Or specify the model by hand:
+//
+//	remy -senders 1:16 -rate 10e6:20e6 -rtt 100:200 -delta 1 -out my.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/optimizer"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func parsePair(s string) (float64, float64, error) {
+	parts := strings.SplitN(s, ":", 2)
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi := lo
+	if len(parts) == 2 {
+		hi, err = strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return lo, hi, nil
+}
+
+func presetSpec(name string, budget float64) (exp.TrainSpec, error) {
+	switch name {
+	case "delta0.1":
+		return exp.GeneralPurposeTrainSpec(0.1, budget), nil
+	case "delta1":
+		return exp.GeneralPurposeTrainSpec(1, budget), nil
+	case "delta10":
+		return exp.GeneralPurposeTrainSpec(10, budget), nil
+	case "1x":
+		return exp.LinkSpeedTrainSpec(15e6, 15e6, budget), nil
+	case "10x":
+		return exp.LinkSpeedTrainSpec(4.7e6, 47e6, budget), nil
+	case "dc":
+		return exp.DatacenterTrainSpec(budget), nil
+	case "compete":
+		return exp.CompetingTrainSpec(budget), nil
+	default:
+		return exp.TrainSpec{}, fmt.Errorf("unknown preset %q", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	preset := flag.String("preset", "", "built-in design model: delta0.1, delta1, delta10, 1x, 10x, dc, compete")
+	out := flag.String("out", "remycc.json", "output path for the generated rule table")
+	rounds := flag.Int("rounds", 6, "optimization rounds")
+	budget := flag.Float64("budget", 0.05, "training budget scale in (0,1]; 1 reproduces the paper's per-evaluation budget")
+	seed := flag.Int64("seed", 1, "random seed for the design run")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU-1)")
+	rungs := flag.Int("rungs", 1, "geometric candidate ladder rungs per action component")
+	iters := flag.Int("iters", 2, "max improvement iterations per rule per round")
+	maxRules := flag.Int("max-rules", 64, "stop subdividing beyond this many rules (0 = unlimited)")
+
+	senders := flag.String("senders", "1:8", "sender count range lo:hi (custom model)")
+	rate := flag.String("rate", "10e6:20e6", "link rate range in bps lo:hi (custom model)")
+	rtt := flag.String("rtt", "100:200", "RTT range in ms lo:hi (custom model)")
+	delta := flag.Float64("delta", 1, "delay weight δ of the objective (custom model)")
+	duration := flag.Float64("duration", 5, "specimen duration in seconds (custom model)")
+	specimens := flag.Int("specimens", 4, "specimens per evaluation (custom model)")
+	flag.Parse()
+
+	var spec exp.TrainSpec
+	if *preset != "" {
+		s, err := presetSpec(*preset, *budget)
+		if err != nil {
+			log.Fatalf("remy: %v", err)
+		}
+		spec = s
+	} else {
+		sLo, sHi, err := parsePair(*senders)
+		if err != nil {
+			log.Fatalf("remy: bad -senders: %v", err)
+		}
+		rLo, rHi, err := parsePair(*rate)
+		if err != nil {
+			log.Fatalf("remy: bad -rate: %v", err)
+		}
+		tLo, tHi, err := parsePair(*rtt)
+		if err != nil {
+			log.Fatalf("remy: bad -rtt: %v", err)
+		}
+		cfg := optimizer.DumbbellDesignRange()
+		cfg.MinSenders = int(sLo)
+		cfg.MaxSenders = int(sHi)
+		cfg.LinkRateBps = optimizer.Range{Lo: rLo, Hi: rHi}
+		cfg.RTTMs = optimizer.Range{Lo: tLo, Hi: tHi}
+		cfg.OnMode = workload.ByTime
+		cfg.SpecimenDuration = sim.FromSeconds(*duration)
+		cfg.Specimens = *specimens
+		spec = exp.TrainSpec{Config: cfg, Objective: stats.DefaultObjective(*delta), Seed: *seed}
+	}
+
+	r := optimizer.New(spec.Config, spec.Objective)
+	r.Seed = *seed
+	r.Workers = *workers
+	r.CandidateRungs = *rungs
+	r.ImprovementIters = *iters
+	r.MaxRules = *maxRules
+	r.Logf = log.Printf
+
+	log.Printf("designing RemyCC: objective {%v}, model senders=[%d,%d] rate=%v rtt=%v, %d specimens of %v",
+		spec.Objective, spec.Config.MinSenders, spec.Config.MaxSenders,
+		spec.Config.LinkRateBps, spec.Config.RTTMs, spec.Config.Specimens, spec.Config.SpecimenDuration)
+
+	tree, progress, err := r.Optimize(nil, *rounds)
+	if err != nil {
+		log.Fatalf("remy: %v", err)
+	}
+	for _, p := range progress {
+		log.Printf("  %s", p)
+	}
+	if err := tree.SaveFile(*out); err != nil {
+		log.Fatalf("remy: writing %s: %v", *out, err)
+	}
+	log.Printf("wrote %s (%d rules)", *out, tree.NumWhiskers())
+	_ = os.Stdout
+}

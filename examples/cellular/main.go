@@ -1,0 +1,86 @@
+// Cellular: evaluate congestion control over a time-varying LTE-like
+// downlink (the §5.3 scenario). A pre-trained RemyCC (loaded from assets, or
+// a quickly trained fallback) competes with Cubic and Vegas over the same
+// synthetic cellular trace, illustrating "model mismatch": the link's rate
+// swings far outside the RemyCC's design range.
+//
+//	go run ./examples/cellular
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/cc/cubic"
+	"repro/internal/cc/vegas"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traces"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Load (or quickly train) the general-purpose RemyCC with δ = 1.
+	assets := exp.FindAssetsDir()
+	tree, err := exp.LoadOrTrainRemyCC(assets, exp.AssetRemyDelta1, exp.GeneralPurposeTrainSpec(1, 0.02), log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("RemyCC: %d rules", tree.NumWhiskers())
+
+	// Generate a 30-second Verizon-like LTE trace.
+	model := traces.VerizonLTEModel()
+	duration := 30 * sim.Second
+	trace, err := model.Generate(duration, sim.NewRNG(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg := traces.AverageRateBps(trace, model.PacketBytes, duration)
+	log.Printf("cellular trace: %d delivery opportunities, average %.1f Mbps", len(trace), avg/1e6)
+
+	schemes := []struct {
+		name string
+		algo func() cc.Algorithm
+	}{
+		{"remy", func() cc.Algorithm { return core.NewSender(tree) }},
+		{"cubic", func() cc.Algorithm { return cubic.New() }},
+		{"vegas", func() cc.Algorithm { return vegas.New() }},
+	}
+
+	fmt.Printf("%-8s %14s %18s %10s\n", "scheme", "median tput", "median queue delay", "losses")
+	for _, s := range schemes {
+		spec := workload.Spec{
+			Mode: workload.ByBytes,
+			On:   workload.Exponential{MeanValue: 100e3},
+			Off:  workload.Exponential{MeanValue: 0.5},
+		}
+		flows := make([]harness.FlowSpec, 4)
+		for i := range flows {
+			flows[i] = harness.FlowSpec{RTTMs: 50, Workload: spec, NewAlgorithm: s.algo}
+		}
+		res, err := harness.Run(harness.Scenario{
+			Trace:         trace,
+			Queue:         harness.QueueDropTail,
+			QueueCapacity: 1000,
+			Duration:      duration,
+			Flows:         flows,
+		}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tputs, delays []float64
+		var losses int64
+		for _, f := range res.Flows {
+			tputs = append(tputs, f.Metrics.Mbps())
+			delays = append(delays, f.Metrics.QueueingDelayMs())
+			losses += f.Transport.LossEvents
+		}
+		fmt.Printf("%-8s %11.2f Mbps %15.2f ms %10d\n", s.name, stats.Median(tputs), stats.Median(delays), losses)
+	}
+}

@@ -1,0 +1,76 @@
+// Datacenter: the §5.5 scenario in miniature. Many senders share a very
+// fast, low-latency link with incast-style on/off transfers; DCTCP (with an
+// ECN-marking gateway) is compared against a RemyCC designed for the
+// minimum-potential-delay objective running over a plain DropTail queue.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/cc/dctcp"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	assets := exp.FindAssetsDir()
+	tree, err := exp.LoadOrTrainRemyCC(assets, exp.AssetRemyDC, exp.DatacenterTrainSpec(0.05), log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("datacenter RemyCC: %d rules", tree.NumWhiskers())
+
+	// 32 senders, 1 Gbps, 1 ms RTT: scaled down from the paper's 64 senders
+	// at 10 Gbps so the example runs in seconds, preserving the regime
+	// (bandwidth-delay product of a few packets per sender, incast-like
+	// on/off load).
+	const senders = 32
+	spec := workload.Spec{
+		Mode: workload.ByBytes,
+		On:   workload.Exponential{MeanValue: 2e6},
+		Off:  workload.Exponential{MeanValue: 0.1},
+	}
+	run := func(name string, queue harness.QueueKind, algo func() cc.Algorithm) {
+		flows := make([]harness.FlowSpec, senders)
+		for i := range flows {
+			flows[i] = harness.FlowSpec{RTTMs: 1, Workload: spec, NewAlgorithm: algo}
+		}
+		res, err := harness.Run(harness.Scenario{
+			LinkRateBps:         1e9,
+			Queue:               queue,
+			QueueCapacity:       1000,
+			ECNThresholdPackets: 65,
+			Duration:            5 * sim.Second,
+			Flows:               flows,
+		}, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tputs, rtts []float64
+		for _, f := range res.Flows {
+			if f.Metrics.OnDuration <= 0 {
+				continue
+			}
+			tputs = append(tputs, f.Metrics.Mbps())
+			rtts = append(rtts, f.Metrics.AvgRTT*1e3)
+		}
+		fmt.Printf("%-10s tput: %6.0f mean, %6.0f median Mbps    rtt: %5.2f mean, %5.2f median ms\n",
+			name, stats.Mean(tputs), stats.Median(tputs), stats.Mean(rtts), stats.Median(rtts))
+	}
+
+	fmt.Printf("datacenter comparison: %d senders, 1 Gbps, 1 ms RTT, 2 MB mean transfers\n\n", senders)
+	run("dctcp", harness.QueueECN, func() cc.Algorithm { return dctcp.New() })
+	run("remy-dc", harness.QueueDropTail, func() cc.Algorithm { return core.NewSender(tree) })
+	fmt.Println("\n(The paper's Table in §5.5 uses 64 senders at 10 Gbps over 100 s; run")
+	fmt.Println(" `experiments -run table3` for the scaled reproduction of that table.)")
+}

@@ -1,0 +1,99 @@
+// Designrange: the §5.7 prior-knowledge study in miniature. Two RemyCCs are
+// designed with different amounts of prior information about the link speed
+// — one told the exact rate, one told only a tenfold range — and both are
+// then evaluated across link speeds inside and outside their design ranges,
+// alongside Cubic-over-sfqCoDel.
+//
+//	go run ./examples/designrange
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/cc/cubic"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	assets := exp.FindAssetsDir()
+
+	tree1x, err := exp.LoadOrTrainRemyCC(assets, exp.AssetRemy1x, exp.LinkSpeedTrainSpec(15e6, 15e6, 0.03), log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree10x, err := exp.LoadOrTrainRemyCC(assets, exp.AssetRemy10x, exp.LinkSpeedTrainSpec(4.7e6, 47e6, 0.03), log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("remy-1x: %d rules, remy-10x: %d rules", tree1x.NumWhiskers(), tree10x.NumWhiskers())
+
+	objective := stats.DefaultObjective(1)
+	speeds := []float64{4.7e6, 15e6, 47e6}
+
+	schemes := []struct {
+		name  string
+		queue harness.QueueKind
+		algo  func() cc.Algorithm
+	}{
+		{"remy-1x", harness.QueueDropTail, func() cc.Algorithm { return core.NewSender(tree1x) }},
+		{"remy-10x", harness.QueueDropTail, func() cc.Algorithm { return core.NewSender(tree10x) }},
+		{"cubic/sfqcodel", harness.QueueSfqCoDel, func() cc.Algorithm { return cubic.New() }},
+	}
+
+	fmt.Printf("%-16s %12s %12s %12s   (objective: log tput - log delay; higher is better)\n",
+		"scheme", "4.7 Mbps", "15 Mbps", "47 Mbps")
+	for _, s := range schemes {
+		fmt.Printf("%-16s", s.name)
+		for _, speed := range speeds {
+			spec := workload.Spec{
+				Mode: workload.ByBytes,
+				On:   workload.Exponential{MeanValue: 100e3},
+				Off:  workload.Exponential{MeanValue: 0.5},
+			}
+			flows := []harness.FlowSpec{
+				{RTTMs: 150, Workload: spec, NewAlgorithm: s.algo},
+				{RTTMs: 150, Workload: spec, NewAlgorithm: s.algo},
+			}
+			res, err := harness.Run(harness.Scenario{
+				LinkRateBps:   speed,
+				Queue:         s.queue,
+				QueueCapacity: 1000,
+				Duration:      20 * sim.Second,
+				Flows:         flows,
+			}, 23)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var sum float64
+			n := 0
+			for _, f := range res.Flows {
+				if f.Metrics.OnDuration <= 0 {
+					continue
+				}
+				tput := f.Metrics.ThroughputBps / (speed / 2)
+				if tput <= 0 {
+					tput = 1e-6
+				}
+				delay := (f.Metrics.QueueingDelayMs() + 150) / 150
+				sum += objective.Score(tput, delay)
+				n++
+			}
+			score := 0.0
+			if n > 0 {
+				score = sum / float64(n)
+			}
+			fmt.Printf(" %12.2f", score)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nExpected shape (paper Figure 11): remy-1x is best near 15 Mbps but falls off away")
+	fmt.Println("from it; remy-10x holds up across the shaded 4.7-47 Mbps range.")
+}

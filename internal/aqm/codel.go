@@ -1,0 +1,168 @@
+package aqm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// CoDel parameters from Nichols & Jacobson (ACM Queue 2012), the values the
+// paper's sfqCoDel gateway uses.
+const (
+	// CoDelTarget is the acceptable standing-queue sojourn time.
+	CoDelTarget = 5 * sim.Millisecond
+	// CoDelInterval is the sliding window over which sojourn time must
+	// exceed the target before CoDel begins dropping.
+	CoDelInterval = 100 * sim.Millisecond
+)
+
+// CoDel is the Controlled-Delay AQM: packets are timestamped on enqueue and
+// dropped at dequeue when the sojourn time has exceeded the target for at
+// least one interval, with the drop rate increasing as the square root of
+// the number of drops ("control law"). It is a tail-drop queue of fixed
+// packet capacity underneath.
+type CoDel struct {
+	capacity int
+	queue    []*netsim.Packet
+	bytes    int
+	drops    int64
+
+	target   sim.Time
+	interval sim.Time
+
+	// CoDel state machine (straight from the reference pseudocode).
+	firstAboveTime sim.Time
+	dropNext       sim.Time
+	dropCount      int
+	lastDropCount  int
+	dropping       bool
+}
+
+// NewCoDel returns a CoDel queue with the given packet capacity and the
+// standard target/interval parameters.
+func NewCoDel(capacity int) (*CoDel, error) {
+	return NewCoDelWithParams(capacity, CoDelTarget, CoDelInterval)
+}
+
+// NewCoDelWithParams returns a CoDel queue with explicit target and
+// interval, used by tests to exercise the control law quickly.
+func NewCoDelWithParams(capacity int, target, interval sim.Time) (*CoDel, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("aqm: CoDel capacity must be positive, got %d", capacity)
+	}
+	if target <= 0 || interval <= 0 {
+		return nil, fmt.Errorf("aqm: CoDel target and interval must be positive")
+	}
+	return &CoDel{capacity: capacity, target: target, interval: interval}, nil
+}
+
+// Enqueue implements netsim.Queue.
+func (q *CoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
+	if len(q.queue) >= q.capacity {
+		q.drops++
+		return false
+	}
+	p.EnqueuedAt = now
+	q.queue = append(q.queue, p)
+	q.bytes += p.Size
+	return true
+}
+
+func (q *CoDel) popHead() *netsim.Packet {
+	p := q.queue[0]
+	q.queue[0] = nil
+	q.queue = q.queue[1:]
+	q.bytes -= p.Size
+	return p
+}
+
+// doDequeue pops the head packet and reports whether its sojourn time is
+// below target (or the queue occupancy is tiny), i.e. whether CoDel should
+// leave the dropping state.
+func (q *CoDel) doDequeue(now sim.Time) (*netsim.Packet, bool) {
+	if len(q.queue) == 0 {
+		q.firstAboveTime = 0
+		return nil, true
+	}
+	p := q.popHead()
+	sojourn := now - p.EnqueuedAt
+	if sojourn < q.target || q.bytes <= 2*netsim.MTU {
+		q.firstAboveTime = 0
+		return p, true
+	}
+	if q.firstAboveTime == 0 {
+		q.firstAboveTime = now + q.interval
+	} else if now >= q.firstAboveTime {
+		return p, false
+	}
+	return p, true
+}
+
+func (q *CoDel) controlLaw(t sim.Time) sim.Time {
+	return t + sim.Time(float64(q.interval)/math.Sqrt(float64(q.dropCount)))
+}
+
+// Dequeue implements netsim.Queue, applying the CoDel drop law.
+func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
+	p, okToDequeue := q.doDequeue(now)
+	if p == nil {
+		q.dropping = false
+		return nil
+	}
+	if q.dropping {
+		if okToDequeue {
+			q.dropping = false
+		} else {
+			for now >= q.dropNext && q.dropping {
+				q.drops++
+				q.dropCount++
+				p, okToDequeue = q.doDequeue(now)
+				if p == nil {
+					q.dropping = false
+					return nil
+				}
+				if okToDequeue {
+					q.dropping = false
+				} else {
+					q.dropNext = q.controlLaw(q.dropNext)
+				}
+			}
+		}
+	} else if !okToDequeue && (now-q.dropNext < q.interval || now-q.firstAboveTime >= q.interval) {
+		// Enter the dropping state: drop this packet and set the next drop
+		// time by the control law.
+		q.drops++
+		q.dropCount++
+		p, _ = q.doDequeue(now)
+		q.dropping = true
+		if p == nil {
+			q.dropping = false
+			return nil
+		}
+		// Start the drop clock, reusing the recent drop count if we were
+		// dropping recently (hysteresis from the reference implementation).
+		if now-q.dropNext < q.interval {
+			if q.lastDropCount > 2 {
+				q.dropCount = q.lastDropCount - 2
+			} else {
+				q.dropCount = 1
+			}
+		} else {
+			q.dropCount = 1
+		}
+		q.lastDropCount = q.dropCount
+		q.dropNext = q.controlLaw(now)
+	}
+	return p
+}
+
+// Len implements netsim.Queue.
+func (q *CoDel) Len() int { return len(q.queue) }
+
+// Bytes implements netsim.Queue.
+func (q *CoDel) Bytes() int { return q.bytes }
+
+// Drops implements netsim.Queue.
+func (q *CoDel) Drops() int64 { return q.drops }

@@ -1,0 +1,107 @@
+// Package aqm implements the bottleneck queue disciplines used in the
+// paper's evaluation: simple tail-drop FIFO buffers (the default for the
+// dumbbell, cellular and datacenter topologies), the CoDel AQM, stochastic
+// fair queueing with per-queue CoDel ("sfqCoDel"), DCTCP-style instantaneous
+// ECN marking, and the XCP router that allocates explicit per-packet window
+// feedback.
+package aqm
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// DropTail is a FIFO queue with a fixed capacity in packets. Arriving
+// packets are dropped when the queue is full ("tail drop"), the behaviour of
+// the 1000-packet buffers used throughout §5.
+type DropTail struct {
+	capacity int
+	queue    []*netsim.Packet
+	bytes    int
+	drops    int64
+
+	// MarkThreshold, when positive, turns the queue into the DCTCP marking
+	// gateway of §5.5: ECN-capable packets are marked (not dropped) whenever
+	// the instantaneous queue occupancy at enqueue time is at least
+	// MarkThreshold packets.
+	markThreshold int
+	marks         int64
+}
+
+// NewDropTail returns a tail-drop queue holding at most capacity packets.
+// capacity must be positive.
+func NewDropTail(capacity int) (*DropTail, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("aqm: DropTail capacity must be positive, got %d", capacity)
+	}
+	return &DropTail{capacity: capacity}, nil
+}
+
+// MustDropTail is NewDropTail that panics on error, for tests and examples.
+func MustDropTail(capacity int) *DropTail {
+	q, err := NewDropTail(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NewECNMarking returns a tail-drop queue that additionally marks
+// ECN-capable packets when the instantaneous queue length reaches
+// markThreshold packets — the DCTCP gateway model.
+func NewECNMarking(capacity, markThreshold int) (*DropTail, error) {
+	if markThreshold <= 0 {
+		return nil, fmt.Errorf("aqm: ECN mark threshold must be positive, got %d", markThreshold)
+	}
+	q, err := NewDropTail(capacity)
+	if err != nil {
+		return nil, err
+	}
+	q.markThreshold = markThreshold
+	return q, nil
+}
+
+// Enqueue implements netsim.Queue.
+func (q *DropTail) Enqueue(p *netsim.Packet, now sim.Time) bool {
+	if len(q.queue) >= q.capacity {
+		q.drops++
+		return false
+	}
+	if q.markThreshold > 0 && p.ECNCapable && len(q.queue) >= q.markThreshold {
+		p.ECNMarked = true
+		q.marks++
+	}
+	p.EnqueuedAt = now
+	q.queue = append(q.queue, p)
+	q.bytes += p.Size
+	return true
+}
+
+// Dequeue implements netsim.Queue.
+func (q *DropTail) Dequeue(now sim.Time) *netsim.Packet {
+	if len(q.queue) == 0 {
+		return nil
+	}
+	p := q.queue[0]
+	q.queue[0] = nil
+	q.queue = q.queue[1:]
+	q.bytes -= p.Size
+	return p
+}
+
+// Len implements netsim.Queue.
+func (q *DropTail) Len() int { return len(q.queue) }
+
+// Bytes implements netsim.Queue.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// Drops implements netsim.Queue.
+func (q *DropTail) Drops() int64 { return q.drops }
+
+// Marks returns the number of ECN marks applied (DCTCP gateway mode).
+func (q *DropTail) Marks() int64 { return q.marks }
+
+// Capacity returns the queue's capacity in packets.
+func (q *DropTail) Capacity() int { return q.capacity }

@@ -1,0 +1,146 @@
+package aqm
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// SfqCoDel is stochastic fair queueing with per-queue CoDel, the
+// router-assisted scheme the paper calls "Cubic-over-sfqCoDel" when paired
+// with a Cubic sender. Flows are hashed into a fixed number of buckets, each
+// bucket is an independent CoDel queue, and buckets are served by deficit
+// round robin with an MTU-sized quantum, isolating flows from one another.
+type SfqCoDel struct {
+	buckets  []*CoDel
+	deficits []int
+	active   []int // round-robin order of non-empty buckets
+	inActive []bool
+	quantum  int
+	capacity int // total packets across buckets
+	length   int
+	bytes    int
+	drops    int64
+}
+
+// NewSfqCoDel builds an sfqCoDel discipline with the given number of
+// buckets and a total capacity in packets shared across buckets.
+func NewSfqCoDel(buckets, capacity int) (*SfqCoDel, error) {
+	return NewSfqCoDelWithParams(buckets, capacity, CoDelTarget, CoDelInterval)
+}
+
+// NewSfqCoDelWithParams allows tests to use faster CoDel parameters.
+func NewSfqCoDelWithParams(buckets, capacity int, target, interval sim.Time) (*SfqCoDel, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("aqm: sfqCoDel needs at least one bucket, got %d", buckets)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("aqm: sfqCoDel capacity must be positive, got %d", capacity)
+	}
+	q := &SfqCoDel{
+		buckets:  make([]*CoDel, buckets),
+		deficits: make([]int, buckets),
+		inActive: make([]bool, buckets),
+		quantum:  netsim.MTU,
+		capacity: capacity,
+	}
+	for i := range q.buckets {
+		c, err := NewCoDelWithParams(capacity, target, interval)
+		if err != nil {
+			return nil, err
+		}
+		q.buckets[i] = c
+	}
+	return q, nil
+}
+
+// bucketFor hashes a flow id onto a bucket. With far fewer flows than
+// buckets (the common case) every flow gets its own queue, which is the
+// behaviour the paper's experiments rely on.
+func (q *SfqCoDel) bucketFor(flow int) int {
+	h := uint64(flow) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(len(q.buckets)))
+}
+
+// Enqueue implements netsim.Queue.
+func (q *SfqCoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
+	if q.length >= q.capacity {
+		q.drops++
+		return false
+	}
+	b := q.bucketFor(p.Flow)
+	if !q.buckets[b].Enqueue(p, now) {
+		q.drops++
+		return false
+	}
+	q.length++
+	q.bytes += p.Size
+	if !q.inActive[b] {
+		q.inActive[b] = true
+		q.active = append(q.active, b)
+		q.deficits[b] = q.quantum
+	}
+	return true
+}
+
+// Dequeue implements netsim.Queue, serving buckets by deficit round robin
+// and applying each bucket's CoDel drop law.
+func (q *SfqCoDel) Dequeue(now sim.Time) *netsim.Packet {
+	for len(q.active) > 0 {
+		b := q.active[0]
+		bucket := q.buckets[b]
+		if bucket.Len() == 0 {
+			// Bucket drained; retire it from the active list.
+			q.active = q.active[1:]
+			q.inActive[b] = false
+			continue
+		}
+		if q.deficits[b] <= 0 {
+			// Move to the back of the round and replenish the deficit.
+			q.active = append(q.active[1:], b)
+			q.deficits[b] += q.quantum
+			continue
+		}
+		before := bucket.Drops()
+		p := bucket.Dequeue(now)
+		// Account CoDel's dequeue-time drops against our counters too.
+		dropped := bucket.Drops() - before
+		q.drops += dropped
+		q.length -= int(dropped)
+		for i := int64(0); i < dropped; i++ {
+			// Dropped packets' bytes are no longer queued; CoDel already
+			// adjusted its own byte count, mirror it here conservatively.
+			q.bytes -= netsim.MTU
+			if q.bytes < 0 {
+				q.bytes = 0
+			}
+		}
+		if p == nil {
+			q.active = q.active[1:]
+			q.inActive[b] = false
+			continue
+		}
+		q.length--
+		q.bytes -= p.Size
+		if q.bytes < 0 {
+			q.bytes = 0
+		}
+		q.deficits[b] -= p.Size
+		return p
+	}
+	return nil
+}
+
+// Len implements netsim.Queue.
+func (q *SfqCoDel) Len() int { return q.length }
+
+// Bytes implements netsim.Queue.
+func (q *SfqCoDel) Bytes() int { return q.bytes }
+
+// Drops implements netsim.Queue.
+func (q *SfqCoDel) Drops() int64 { return q.drops }
+
+// Buckets returns the number of hash buckets.
+func (q *SfqCoDel) Buckets() int { return len(q.buckets) }

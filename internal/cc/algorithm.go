@@ -1,0 +1,73 @@
+// Package cc provides the sender-side congestion-control substrate: the
+// Algorithm interface that every scheme (NewReno, Vegas, Cubic, Compound,
+// DCTCP, XCP, and the Remy-generated RemyCCs) implements, and the Transport
+// runtime that owns sequence numbers, in-flight accounting, duplicate-ACK
+// and retransmission-timeout loss recovery, and pacing enforcement.
+//
+// Splitting the sender this way mirrors the paper's design: a RemyCC (or any
+// other congestion-control module) only decides *how much* and *how fast* to
+// send — it "inherits the loss-recovery behavior of whatever TCP sender it
+// is added to" (§4.1).
+package cc
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// AckEvent is delivered to an Algorithm for every acknowledgment processed
+// by the Transport.
+type AckEvent struct {
+	// Now is the simulated time the acknowledgment reached the sender.
+	Now sim.Time
+	// RTT is the round-trip time sampled from this acknowledgment (zero if
+	// the acked packet was a retransmission, per Karn's rule).
+	RTT sim.Time
+	// MinRTT is the minimum RTT observed on this connection so far.
+	MinRTT sim.Time
+	// SRTT is the smoothed RTT estimate.
+	SRTT sim.Time
+	// NewlyAcked is the number of packets newly acknowledged cumulatively by
+	// this acknowledgment (zero for duplicate ACKs).
+	NewlyAcked int
+	// InFlight is the number of packets outstanding after processing the
+	// acknowledgment.
+	InFlight int
+	// ECNEcho reports whether the acknowledged packet carried an ECN mark.
+	ECNEcho bool
+	// MSS is the segment size in bytes.
+	MSS int
+	// Ack is the raw acknowledgment (XCP feedback, receiver timestamps, ...).
+	Ack netsim.Ack
+}
+
+// Algorithm is a congestion-control scheme: it consumes ACK/loss/timeout
+// events and exposes a congestion window (in packets) and a minimum
+// inter-send spacing.
+type Algorithm interface {
+	// Name returns a short human-readable scheme name ("cubic", "remy", ...).
+	Name() string
+	// Reset prepares the algorithm for a new connection ("on" period).
+	Reset(now sim.Time)
+	// OnAck processes one acknowledgment.
+	OnAck(ev AckEvent)
+	// OnLoss signals a loss detected by triple duplicate ACK (fast
+	// retransmit). It is called once per loss event, not per lost packet.
+	OnLoss(now sim.Time)
+	// OnTimeout signals a retransmission timeout.
+	OnTimeout(now sim.Time)
+	// Window returns the current congestion window in packets. The Transport
+	// clamps the effective window to at least one packet so a connection can
+	// always make progress.
+	Window() float64
+	// PacingGap returns the minimum spacing between transmissions (zero
+	// means no pacing). RemyCC actions set this via the r component.
+	PacingGap() sim.Time
+}
+
+// PacketStamper is an optional interface for algorithms that must annotate
+// outgoing packets: XCP fills its congestion header, DCTCP marks packets
+// ECN-capable.
+type PacketStamper interface {
+	StampPacket(p *netsim.Packet, now sim.Time)
+}

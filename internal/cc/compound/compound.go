@@ -1,0 +1,151 @@
+// Package compound implements Compound TCP (Tan, Song, Zhang & Sridharan,
+// INFOCOM 2006), the hybrid loss/delay baseline in the paper's evaluation.
+// Compound maintains two components: a loss window that follows Reno's
+// AIMD rules and a delay window that grows binomially while the path shows
+// no queueing and shrinks when queueing delay appears. The effective
+// congestion window is their sum; the delay component lets Compound fill
+// high bandwidth-delay-product paths quickly while remaining TCP-fair.
+package compound
+
+import (
+	"math"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// Compound TCP parameters from the original paper.
+const (
+	// AlphaCTCP, BetaCTCP and KExponent parameterize the binomial increase
+	// of the delay window: dwnd += alpha*win^k - 1 per RTT.
+	AlphaCTCP = 0.125
+	BetaCTCP  = 0.5
+	KExponent = 0.75
+	// GammaBacklog is the queueing backlog (packets) above which the delay
+	// window backs off.
+	GammaBacklog = 30
+	// ZetaDecrease scales the delay-window reduction when early congestion
+	// (queueing) is detected.
+	ZetaDecrease = 1.0
+)
+
+// Compound is the Compound TCP algorithm.
+type Compound struct {
+	lossWnd  float64 // Reno component
+	delayWnd float64 // delay-based component
+	ssthresh float64
+
+	baseRTT     sim.Time
+	lastAdjust  sim.Time
+	minRTTinRTT sim.Time
+}
+
+// New returns a Compound TCP instance.
+func New() *Compound {
+	c := &Compound{}
+	c.Reset(0)
+	return c
+}
+
+// Name implements cc.Algorithm.
+func (c *Compound) Name() string { return "compound" }
+
+// Reset implements cc.Algorithm.
+func (c *Compound) Reset(now sim.Time) {
+	c.lossWnd = 2
+	c.delayWnd = 0
+	c.ssthresh = 1 << 20
+	c.baseRTT = 0
+	c.lastAdjust = now
+	c.minRTTinRTT = 0
+}
+
+// Window implements cc.Algorithm: the effective window is the sum of the
+// loss and delay components.
+func (c *Compound) Window() float64 { return c.lossWnd + c.delayWnd }
+
+// PacingGap implements cc.Algorithm.
+func (c *Compound) PacingGap() sim.Time { return 0 }
+
+// OnAck implements cc.Algorithm.
+func (c *Compound) OnAck(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		if c.baseRTT == 0 || ev.RTT < c.baseRTT {
+			c.baseRTT = ev.RTT
+		}
+		if c.minRTTinRTT == 0 || ev.RTT < c.minRTTinRTT {
+			c.minRTTinRTT = ev.RTT
+		}
+	}
+
+	// Loss window: standard Reno growth per newly acked packet.
+	for i := 0; i < ev.NewlyAcked; i++ {
+		if c.Window() < c.ssthresh {
+			c.lossWnd++
+		} else {
+			c.lossWnd += 1 / c.Window()
+		}
+	}
+
+	// Delay window: adjusted once per RTT from the estimated backlog.
+	if c.baseRTT == 0 || c.minRTTinRTT == 0 {
+		return
+	}
+	if ev.Now-c.lastAdjust < c.minRTTinRTT {
+		return
+	}
+	c.lastAdjust = ev.Now
+	rtt := c.minRTTinRTT
+	c.minRTTinRTT = 0
+
+	win := c.Window()
+	expected := win / c.baseRTT.Seconds()
+	actual := win / rtt.Seconds()
+	diff := (expected - actual) * c.baseRTT.Seconds() // backlog in packets
+
+	if diff < GammaBacklog {
+		// No early congestion: binomial increase of the delay component.
+		inc := AlphaCTCP*math.Pow(win, KExponent) - 1
+		if inc < 0 {
+			inc = 0
+		}
+		c.delayWnd += inc
+	} else {
+		// Early congestion: retreat the delay component.
+		c.delayWnd -= ZetaDecrease * diff
+		if c.delayWnd < 0 {
+			c.delayWnd = 0
+		}
+	}
+}
+
+// OnLoss implements cc.Algorithm: Reno halving for the loss window and the
+// Compound rule dwnd = win*(1-beta) - lossWnd for the delay window.
+func (c *Compound) OnLoss(now sim.Time) {
+	win := c.Window()
+	c.lossWnd = win / 2
+	if c.lossWnd < 2 {
+		c.lossWnd = 2
+	}
+	c.ssthresh = c.lossWnd
+	c.delayWnd = win*(1-BetaCTCP) - c.lossWnd
+	if c.delayWnd < 0 {
+		c.delayWnd = 0
+	}
+}
+
+// OnTimeout implements cc.Algorithm.
+func (c *Compound) OnTimeout(now sim.Time) {
+	c.ssthresh = c.Window() / 2
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.lossWnd = 1
+	c.delayWnd = 0
+}
+
+// DelayWindow exposes the delay component for tests.
+func (c *Compound) DelayWindow() float64 { return c.delayWnd }
+
+// LossWindow exposes the loss component for tests.
+func (c *Compound) LossWindow() float64 { return c.lossWnd }

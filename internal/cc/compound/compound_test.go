@@ -1,0 +1,99 @@
+package compound
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+func ev(now, rtt sim.Time, newly int) cc.AckEvent {
+	return cc.AckEvent{Now: now, RTT: rtt, MinRTT: rtt, NewlyAcked: newly}
+}
+
+func TestCompoundBasics(t *testing.T) {
+	c := New()
+	if c.Name() != "compound" || c.PacingGap() != 0 {
+		t.Error("basics")
+	}
+	if c.Window() != 2 || c.DelayWindow() != 0 || c.LossWindow() != 2 {
+		t.Errorf("initial windows: total=%v delay=%v loss=%v", c.Window(), c.DelayWindow(), c.LossWindow())
+	}
+}
+
+func TestCompoundDelayWindowGrowsWithoutQueueing(t *testing.T) {
+	c := New()
+	c.lossWnd = 20
+	c.ssthresh = 10 // out of slow start
+	c.baseRTT = 100 * sim.Millisecond
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		now += 100 * sim.Millisecond
+		c.OnAck(ev(now, 100*sim.Millisecond, 1))
+	}
+	if c.DelayWindow() <= 0 {
+		t.Errorf("delay window should grow on an uncongested path, got %v", c.DelayWindow())
+	}
+}
+
+func TestCompoundDelayWindowRetreatsUnderQueueing(t *testing.T) {
+	c := New()
+	c.lossWnd = 50
+	c.ssthresh = 10
+	c.baseRTT = 100 * sim.Millisecond
+	c.delayWnd = 40
+	now := sim.Time(0)
+	// RTT double the base: backlog = win*(1 - base/rtt) = large > gamma.
+	for i := 0; i < 5; i++ {
+		now += 200 * sim.Millisecond
+		c.OnAck(ev(now, 200*sim.Millisecond, 1))
+	}
+	if c.DelayWindow() >= 40 {
+		t.Errorf("delay window should retreat under queueing, got %v", c.DelayWindow())
+	}
+	if c.DelayWindow() < 0 {
+		t.Error("delay window must not go negative")
+	}
+}
+
+func TestCompoundLossWindowRenoGrowth(t *testing.T) {
+	c := New()
+	c.ssthresh = 4 // leave slow start quickly
+	c.lossWnd = 10
+	before := c.LossWindow()
+	c.OnAck(cc.AckEvent{Now: sim.Second, NewlyAcked: 10})
+	if growth := c.LossWindow() - before; growth < 0.5 || growth > 1.5 {
+		t.Errorf("loss-window growth per RTT = %v, want ~1", growth)
+	}
+}
+
+func TestCompoundLossResponse(t *testing.T) {
+	c := New()
+	c.lossWnd = 30
+	c.delayWnd = 20
+	total := c.Window()
+	c.OnLoss(0)
+	if c.LossWindow() != total/2 {
+		t.Errorf("loss window after loss = %v, want %v", c.LossWindow(), total/2)
+	}
+	if c.Window() > total {
+		t.Error("total window should not grow on loss")
+	}
+	if c.DelayWindow() < 0 {
+		t.Error("delay window negative")
+	}
+}
+
+func TestCompoundTimeoutAndReset(t *testing.T) {
+	c := New()
+	c.lossWnd = 30
+	c.delayWnd = 20
+	c.OnTimeout(0)
+	if c.Window() != 1 {
+		t.Errorf("window after timeout = %v", c.Window())
+	}
+	c.Reset(0)
+	if c.Window() != 2 || c.DelayWindow() != 0 {
+		t.Error("Reset")
+	}
+}

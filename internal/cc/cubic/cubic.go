@@ -1,0 +1,133 @@
+// Package cubic implements TCP Cubic (Ha, Rhee & Xu, 2008), the
+// high-throughput loss-based baseline in the paper's evaluation. Cubic grows
+// its window as a cubic function of the time since the last loss, anchored
+// at the window size where that loss occurred, and includes the standard
+// "TCP-friendly" region so it is never slower than Reno.
+package cubic
+
+import (
+	"math"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// Standard Cubic constants (RFC 8312).
+const (
+	// C is the cubic scaling factor in packets/second^3.
+	C = 0.4
+	// BetaCubic is the multiplicative decrease factor.
+	BetaCubic = 0.7
+)
+
+// Cubic is the Cubic congestion-control algorithm.
+type Cubic struct {
+	cwnd     float64
+	ssthresh float64
+
+	wMax       float64  // window size just before the last reduction
+	epochStart sim.Time // start of the current congestion-avoidance epoch
+	k          float64  // time to grow back to wMax (seconds)
+	ackCount   float64  // acks accumulated for the Reno-friendly estimate
+	wEst       float64  // TCP-friendly window estimate
+}
+
+// New returns a Cubic algorithm instance.
+func New() *Cubic {
+	c := &Cubic{}
+	c.Reset(0)
+	return c
+}
+
+// Name implements cc.Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Reset implements cc.Algorithm.
+func (c *Cubic) Reset(now sim.Time) {
+	c.cwnd = 2
+	c.ssthresh = 1 << 20
+	c.wMax = 0
+	c.epochStart = -1
+	c.k = 0
+	c.ackCount = 0
+	c.wEst = 0
+}
+
+// OnAck implements cc.Algorithm.
+func (c *Cubic) OnAck(ev cc.AckEvent) {
+	if ev.NewlyAcked == 0 {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		// Slow start.
+		c.cwnd += float64(ev.NewlyAcked)
+		return
+	}
+	rtt := ev.SRTT
+	if rtt <= 0 {
+		rtt = ev.RTT
+	}
+	if rtt <= 0 {
+		rtt = 100 * sim.Millisecond
+	}
+	if c.epochStart < 0 {
+		c.epochStart = ev.Now
+		if c.wMax < c.cwnd {
+			c.wMax = c.cwnd
+			c.k = 0
+		} else {
+			c.k = math.Cbrt((c.wMax - c.cwnd) / C)
+		}
+		c.ackCount = 0
+		c.wEst = c.cwnd
+	}
+	for i := 0; i < ev.NewlyAcked; i++ {
+		t := (ev.Now - c.epochStart).Seconds() + rtt.Seconds()
+		target := C*math.Pow(t-c.k, 3) + c.wMax
+
+		// TCP-friendly region (standard AIMD estimate with beta = 0.7).
+		c.ackCount++
+		c.wEst = c.wMax*BetaCubic + 3*(1-BetaCubic)/(1+BetaCubic)*(c.ackCount/c.cwnd)
+		if target < c.wEst {
+			target = c.wEst
+		}
+		if target > c.cwnd {
+			c.cwnd += (target - c.cwnd) / c.cwnd
+		} else {
+			// Practically flat near the plateau.
+			c.cwnd += 0.01 / c.cwnd
+		}
+	}
+}
+
+// OnLoss implements cc.Algorithm: remember the window at which loss occurred
+// and reduce multiplicatively by BetaCubic.
+func (c *Cubic) OnLoss(now sim.Time) {
+	c.epochStart = -1
+	c.wMax = c.cwnd
+	c.cwnd *= BetaCubic
+	if c.cwnd < 2 {
+		c.cwnd = 2
+	}
+	c.ssthresh = c.cwnd
+}
+
+// OnTimeout implements cc.Algorithm.
+func (c *Cubic) OnTimeout(now sim.Time) {
+	c.epochStart = -1
+	c.wMax = c.cwnd
+	c.ssthresh = c.cwnd * BetaCubic
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 1
+}
+
+// Window implements cc.Algorithm.
+func (c *Cubic) Window() float64 { return c.cwnd }
+
+// PacingGap implements cc.Algorithm.
+func (c *Cubic) PacingGap() sim.Time { return 0 }
+
+// WMax exposes the last-loss window for tests.
+func (c *Cubic) WMax() float64 { return c.wMax }

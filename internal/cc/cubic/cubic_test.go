@@ -1,0 +1,117 @@
+package cubic
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+func ev(now sim.Time, newly int) cc.AckEvent {
+	return cc.AckEvent{Now: now, RTT: 100 * sim.Millisecond, SRTT: 100 * sim.Millisecond, MinRTT: 100 * sim.Millisecond, NewlyAcked: newly}
+}
+
+func TestCubicBasics(t *testing.T) {
+	c := New()
+	if c.Name() != "cubic" || c.PacingGap() != 0 {
+		t.Error("basics")
+	}
+	if c.Window() != 2 {
+		t.Errorf("initial window = %v", c.Window())
+	}
+}
+
+func TestCubicSlowStart(t *testing.T) {
+	c := New()
+	c.OnAck(ev(100*sim.Millisecond, 2))
+	if c.Window() != 4 {
+		t.Errorf("slow start growth: %v", c.Window())
+	}
+}
+
+func TestCubicLossMultiplicativeDecrease(t *testing.T) {
+	c := New()
+	c.cwnd = 100
+	c.OnLoss(0)
+	if c.Window() != 70 {
+		t.Errorf("window after loss = %v, want 70 (beta=0.7)", c.Window())
+	}
+	if c.WMax() != 100 {
+		t.Errorf("WMax = %v, want 100", c.WMax())
+	}
+	// Floor at 2.
+	c2 := New()
+	c2.cwnd = 2
+	c2.OnLoss(0)
+	if c2.Window() < 2 {
+		t.Error("window floor")
+	}
+}
+
+func TestCubicConcaveRecoveryTowardWMax(t *testing.T) {
+	// After a loss at W=100 the window should climb back toward 100 with a
+	// concave profile: fast at first, slowing as it approaches WMax.
+	c := New()
+	c.cwnd = 100
+	c.OnLoss(0) // cwnd = 70, wMax = 100
+	now := sim.Time(0)
+	var window1s, window4s float64
+	for ms := 0; ms < 8000; ms += 100 {
+		now = sim.Time(ms) * sim.Millisecond
+		c.OnAck(ev(now, int(c.Window()))) // one window of acks per RTT (100 ms)
+		if ms == 1000 {
+			window1s = c.Window()
+		}
+		if ms == 4000 {
+			window4s = c.Window()
+		}
+	}
+	if window1s <= 70 {
+		t.Errorf("window did not grow after loss: %v", window1s)
+	}
+	if window4s < 95 {
+		t.Errorf("window should approach WMax within a few seconds, got %v", window4s)
+	}
+	growthEarly := window1s - 70
+	growthLate := window4s - window1s
+	if growthLate > growthEarly*3 {
+		t.Errorf("recovery not concave: early growth %v, late growth %v", growthEarly, growthLate)
+	}
+}
+
+func TestCubicGrowsBeyondWMaxEventually(t *testing.T) {
+	// Past the plateau Cubic probes aggressively (the convex region).
+	c := New()
+	c.cwnd = 50
+	c.OnLoss(0) // wMax = 50
+	now := sim.Time(0)
+	for ms := 0; ms < 30000; ms += 100 {
+		now = sim.Time(ms) * sim.Millisecond
+		c.OnAck(ev(now, int(c.Window())))
+	}
+	if c.Window() <= 50 {
+		t.Errorf("window should eventually exceed WMax, got %v", c.Window())
+	}
+}
+
+func TestCubicTimeout(t *testing.T) {
+	c := New()
+	c.cwnd = 80
+	c.OnTimeout(0)
+	if c.Window() != 1 {
+		t.Errorf("window after timeout = %v, want 1", c.Window())
+	}
+	c.Reset(0)
+	if c.Window() != 2 || c.WMax() != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestCubicDupAckNoChange(t *testing.T) {
+	c := New()
+	before := c.Window()
+	c.OnAck(cc.AckEvent{Now: sim.Second, NewlyAcked: 0})
+	if c.Window() != before {
+		t.Error("duplicate acks must not grow the window")
+	}
+}

@@ -1,0 +1,139 @@
+// Package dctcp implements Data Center TCP (Alizadeh et al., SIGCOMM 2010),
+// the datacenter baseline of §5.5. DCTCP marks its packets ECN-capable,
+// relies on the switch marking packets whose arrival sees an instantaneous
+// queue above a threshold K, maintains a running estimate alpha of the
+// fraction of marked packets, and reduces its window in proportion to that
+// fraction once per RTT.
+package dctcp
+
+import (
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Standard DCTCP parameters.
+const (
+	// G is the EWMA gain for the marked-fraction estimate.
+	G = 1.0 / 16.0
+	// MarkThresholdPackets is the switch marking threshold K the paper's
+	// datacenter experiment uses (packets of instantaneous queue).
+	MarkThresholdPackets = 65
+)
+
+// DCTCP is the ECN-proportional congestion-control algorithm.
+type DCTCP struct {
+	cwnd     float64
+	ssthresh float64
+	alpha    float64
+
+	// Per-window marking accounting.
+	ackedInWindow  int
+	markedInWindow int
+	windowEnd      sim.Time
+	lastRTT        sim.Time
+}
+
+// New returns a DCTCP instance.
+func New() *DCTCP {
+	d := &DCTCP{}
+	d.Reset(0)
+	return d
+}
+
+// Name implements cc.Algorithm.
+func (d *DCTCP) Name() string { return "dctcp" }
+
+// Reset implements cc.Algorithm.
+func (d *DCTCP) Reset(now sim.Time) {
+	d.cwnd = 2
+	d.ssthresh = 1 << 20
+	d.alpha = 1 // conservative start, as in the DCTCP paper
+	d.ackedInWindow = 0
+	d.markedInWindow = 0
+	d.windowEnd = now
+	d.lastRTT = 0
+}
+
+// StampPacket implements cc.PacketStamper: DCTCP senders are ECN-capable.
+func (d *DCTCP) StampPacket(p *netsim.Packet, now sim.Time) {
+	p.ECNCapable = true
+}
+
+// OnAck implements cc.Algorithm.
+func (d *DCTCP) OnAck(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		d.lastRTT = ev.RTT
+	}
+	d.ackedInWindow += ev.NewlyAcked
+	if ev.ECNEcho {
+		d.markedInWindow += maxInt(ev.NewlyAcked, 1)
+	}
+
+	// Window growth: Reno-style (slow start, then 1 packet per RTT).
+	for i := 0; i < ev.NewlyAcked; i++ {
+		if d.cwnd < d.ssthresh {
+			d.cwnd++
+		} else {
+			d.cwnd += 1 / d.cwnd
+		}
+	}
+
+	// Once per RTT (approximated by one window's worth of ACKs), update
+	// alpha and apply the proportional decrease if anything was marked.
+	rtt := d.lastRTT
+	if rtt <= 0 {
+		rtt = ev.SRTT
+	}
+	if ev.Now >= d.windowEnd && d.ackedInWindow > 0 {
+		f := float64(d.markedInWindow) / float64(d.ackedInWindow)
+		if f > 1 {
+			f = 1
+		}
+		d.alpha = (1-G)*d.alpha + G*f
+		if d.markedInWindow > 0 {
+			d.cwnd *= 1 - d.alpha/2
+			if d.cwnd < 2 {
+				d.cwnd = 2
+			}
+			d.ssthresh = d.cwnd
+		}
+		d.ackedInWindow = 0
+		d.markedInWindow = 0
+		d.windowEnd = ev.Now + rtt
+	}
+}
+
+// OnLoss implements cc.Algorithm: fall back to Reno halving.
+func (d *DCTCP) OnLoss(now sim.Time) {
+	d.ssthresh = d.cwnd / 2
+	if d.ssthresh < 2 {
+		d.ssthresh = 2
+	}
+	d.cwnd = d.ssthresh
+}
+
+// OnTimeout implements cc.Algorithm.
+func (d *DCTCP) OnTimeout(now sim.Time) {
+	d.ssthresh = d.cwnd / 2
+	if d.ssthresh < 2 {
+		d.ssthresh = 2
+	}
+	d.cwnd = 1
+}
+
+// Window implements cc.Algorithm.
+func (d *DCTCP) Window() float64 { return d.cwnd }
+
+// PacingGap implements cc.Algorithm.
+func (d *DCTCP) PacingGap() sim.Time { return 0 }
+
+// Alpha exposes the marked-fraction estimate for tests.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

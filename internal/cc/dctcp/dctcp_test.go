@@ -1,0 +1,120 @@
+package dctcp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func ev(now sim.Time, newly int, ecn bool) cc.AckEvent {
+	return cc.AckEvent{Now: now, RTT: 10 * sim.Millisecond, SRTT: 10 * sim.Millisecond,
+		MinRTT: 10 * sim.Millisecond, NewlyAcked: newly, ECNEcho: ecn}
+}
+
+func TestDCTCPBasics(t *testing.T) {
+	d := New()
+	if d.Name() != "dctcp" || d.PacingGap() != 0 {
+		t.Error("basics")
+	}
+	if d.Window() != 2 {
+		t.Errorf("initial window = %v", d.Window())
+	}
+	if d.Alpha() != 1 {
+		t.Errorf("initial alpha = %v, want 1 (conservative)", d.Alpha())
+	}
+}
+
+func TestDCTCPStampsECNCapable(t *testing.T) {
+	d := New()
+	p := &netsim.Packet{}
+	d.StampPacket(p, 0)
+	if !p.ECNCapable {
+		t.Error("DCTCP packets must be ECN-capable")
+	}
+}
+
+func TestDCTCPAlphaDecaysWithoutMarks(t *testing.T) {
+	d := New()
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		now += 10 * sim.Millisecond
+		d.OnAck(ev(now, 5, false))
+	}
+	if d.Alpha() > 0.05 {
+		t.Errorf("alpha should decay toward 0 with no marks, got %v", d.Alpha())
+	}
+}
+
+func TestDCTCPAlphaRisesWithMarks(t *testing.T) {
+	d := New()
+	// First decay alpha to near zero, then mark everything.
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		now += 10 * sim.Millisecond
+		d.OnAck(ev(now, 5, false))
+	}
+	low := d.Alpha()
+	for i := 0; i < 100; i++ {
+		now += 10 * sim.Millisecond
+		d.OnAck(ev(now, 5, true))
+	}
+	if d.Alpha() <= low {
+		t.Errorf("alpha should rise when packets are marked: %v -> %v", low, d.Alpha())
+	}
+	if d.Alpha() < 0.8 {
+		t.Errorf("alpha should approach 1 when everything is marked, got %v", d.Alpha())
+	}
+}
+
+func TestDCTCPProportionalDecrease(t *testing.T) {
+	// With a small marked fraction, the window reduction must be much
+	// gentler than a Reno halving — the core DCTCP property.
+	d := New()
+	now := sim.Time(0)
+	// Decay alpha first (unmarked traffic).
+	for i := 0; i < 300; i++ {
+		now += 10 * sim.Millisecond
+		d.OnAck(ev(now, 10, false))
+	}
+	d.cwnd = 100
+	alpha := d.Alpha()
+	before := d.Window()
+	// One window with a single marked ack.
+	now += 10 * sim.Millisecond
+	d.OnAck(ev(now, 1, true))
+	for i := 0; i < 9; i++ {
+		now += sim.Millisecond
+		d.OnAck(ev(now, 1, false))
+	}
+	// Trigger the per-window update.
+	now += 20 * sim.Millisecond
+	d.OnAck(ev(now, 1, false))
+	after := d.Window()
+	reduction := (before - after) / before
+	if after >= before+2 {
+		t.Errorf("window should not keep growing across a marked window: %v -> %v", before, after)
+	}
+	if reduction > 0.4 {
+		t.Errorf("reduction %v too severe for small alpha %v", reduction, alpha)
+	}
+}
+
+func TestDCTCPLossAndTimeout(t *testing.T) {
+	d := New()
+	d.cwnd = 40
+	d.OnLoss(0)
+	if d.Window() != 20 {
+		t.Errorf("loss response = %v, want 20", d.Window())
+	}
+	d.OnTimeout(0)
+	if d.Window() != 1 {
+		t.Errorf("timeout response = %v, want 1", d.Window())
+	}
+	d.Reset(0)
+	if d.Window() != 2 || math.Abs(d.Alpha()-1) > 1e-12 {
+		t.Error("Reset")
+	}
+}

@@ -1,0 +1,84 @@
+// Package newreno implements the TCP NewReno congestion-control algorithm
+// (RFC 5681 / RFC 6582 behaviour at the level of window dynamics): slow
+// start, additive increase of one packet per RTT in congestion avoidance, a
+// one-half window reduction on triple duplicate ACK, and a reset to one
+// segment with slow start after a retransmission timeout. It is one of the
+// human-designed baselines the paper compares RemyCCs against.
+package newreno
+
+import (
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// Default initial parameters.
+const (
+	// InitialWindow is the initial congestion window in packets.
+	InitialWindow = 2
+	// InitialSSThresh is effectively "infinite": slow start continues until
+	// the first loss.
+	InitialSSThresh = 1 << 20
+)
+
+// NewReno is the classic loss-based AIMD algorithm.
+type NewReno struct {
+	cwnd     float64
+	ssthresh float64
+}
+
+// New returns a NewReno algorithm instance.
+func New() *NewReno {
+	n := &NewReno{}
+	n.Reset(0)
+	return n
+}
+
+// Name implements cc.Algorithm.
+func (n *NewReno) Name() string { return "newreno" }
+
+// Reset implements cc.Algorithm.
+func (n *NewReno) Reset(now sim.Time) {
+	n.cwnd = InitialWindow
+	n.ssthresh = InitialSSThresh
+}
+
+// OnAck implements cc.Algorithm: slow start doubles the window every RTT
+// (one packet per newly acked packet); congestion avoidance adds one packet
+// per RTT (1/cwnd per acked packet).
+func (n *NewReno) OnAck(ev cc.AckEvent) {
+	for i := 0; i < ev.NewlyAcked; i++ {
+		if n.cwnd < n.ssthresh {
+			n.cwnd++
+		} else {
+			n.cwnd += 1 / n.cwnd
+		}
+	}
+}
+
+// OnLoss implements cc.Algorithm: multiplicative decrease to half the
+// current window (fast recovery).
+func (n *NewReno) OnLoss(now sim.Time) {
+	n.ssthresh = n.cwnd / 2
+	if n.ssthresh < 2 {
+		n.ssthresh = 2
+	}
+	n.cwnd = n.ssthresh
+}
+
+// OnTimeout implements cc.Algorithm: collapse to one segment and slow start.
+func (n *NewReno) OnTimeout(now sim.Time) {
+	n.ssthresh = n.cwnd / 2
+	if n.ssthresh < 2 {
+		n.ssthresh = 2
+	}
+	n.cwnd = 1
+}
+
+// Window implements cc.Algorithm.
+func (n *NewReno) Window() float64 { return n.cwnd }
+
+// PacingGap implements cc.Algorithm; NewReno is purely ACK-clocked.
+func (n *NewReno) PacingGap() sim.Time { return 0 }
+
+// SSThresh exposes the slow-start threshold for tests.
+func (n *NewReno) SSThresh() float64 { return n.ssthresh }

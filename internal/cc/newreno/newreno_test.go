@@ -1,0 +1,93 @@
+package newreno
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+func ack(newly int) cc.AckEvent {
+	return cc.AckEvent{NewlyAcked: newly, RTT: 100 * sim.Millisecond, MinRTT: 100 * sim.Millisecond}
+}
+
+func TestNewRenoBasics(t *testing.T) {
+	n := New()
+	if n.Name() != "newreno" {
+		t.Error("Name")
+	}
+	if n.Window() != InitialWindow {
+		t.Errorf("initial window = %v", n.Window())
+	}
+	if n.PacingGap() != 0 {
+		t.Error("NewReno should not pace")
+	}
+	if n.SSThresh() != InitialSSThresh {
+		t.Error("initial ssthresh")
+	}
+}
+
+func TestNewRenoSlowStartDoublesPerRTT(t *testing.T) {
+	n := New()
+	// Acknowledge one full window: the window should double.
+	w := int(n.Window())
+	n.OnAck(ack(w))
+	if n.Window() != float64(2*w) {
+		t.Errorf("after acking a window in slow start: %v, want %v", n.Window(), 2*w)
+	}
+}
+
+func TestNewRenoCongestionAvoidanceLinear(t *testing.T) {
+	n := New()
+	n.OnLoss(0) // force ssthresh down and leave slow start
+	base := n.Window()
+	if n.SSThresh() != base {
+		t.Errorf("ssthresh should equal the halved window")
+	}
+	// Acking one window's worth of packets adds about one packet.
+	w := int(base)
+	n.OnAck(ack(w))
+	if got := n.Window(); got < base+0.9 || got > base+1.5 {
+		t.Errorf("congestion avoidance growth per RTT = %v, want ~1 (from %v to %v)", got-base, base, got)
+	}
+}
+
+func TestNewRenoLossHalvesWindow(t *testing.T) {
+	n := New()
+	n.OnAck(ack(30)) // grow in slow start
+	before := n.Window()
+	n.OnLoss(0)
+	if got := n.Window(); got != before/2 {
+		t.Errorf("window after loss = %v, want %v", got, before/2)
+	}
+	// Floor of two packets.
+	n2 := New()
+	n2.OnLoss(0)
+	n2.OnLoss(0)
+	n2.OnLoss(0)
+	if n2.Window() < 2 {
+		t.Errorf("window fell below 2: %v", n2.Window())
+	}
+}
+
+func TestNewRenoTimeoutCollapsesToOne(t *testing.T) {
+	n := New()
+	n.OnAck(ack(50))
+	n.OnTimeout(0)
+	if n.Window() != 1 {
+		t.Errorf("window after timeout = %v, want 1", n.Window())
+	}
+	if n.SSThresh() < 2 {
+		t.Error("ssthresh floor")
+	}
+}
+
+func TestNewRenoReset(t *testing.T) {
+	n := New()
+	n.OnAck(ack(100))
+	n.OnLoss(0)
+	n.Reset(0)
+	if n.Window() != InitialWindow || n.SSThresh() != InitialSSThresh {
+		t.Error("Reset did not restore initial state")
+	}
+}

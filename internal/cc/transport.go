@@ -1,0 +1,437 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Retransmission-timer parameters (RFC 6298 with the common 200 ms floor).
+const (
+	initialRTO = 1 * sim.Second
+	minRTO     = 200 * sim.Millisecond
+	maxRTO     = 60 * sim.Second
+)
+
+// Stats accumulates the per-flow counters the evaluation needs (§5.1
+// metrics): bytes acknowledged, RTT samples, losses and retransmissions.
+type Stats struct {
+	PacketsSent     int64
+	Retransmissions int64
+	LossEvents      int64
+	Timeouts        int64
+	BytesAcked      int64
+	AcksReceived    int64
+	RTTSum          sim.Time
+	RTTSamples      int64
+	MinRTT          sim.Time
+	MaxRTT          sim.Time
+}
+
+// MeanRTT returns the average of the RTT samples, or 0 with no samples.
+func (s Stats) MeanRTT() sim.Time {
+	if s.RTTSamples == 0 {
+		return 0
+	}
+	return sim.Time(int64(s.RTTSum) / s.RTTSamples)
+}
+
+type sentRecord struct {
+	sentAt        sim.Time
+	retransmitted bool
+	// queued marks packets already sitting in the retransmission queue so
+	// they are not queued twice.
+	queued bool
+}
+
+// Transport is the generic reliable sender: it decides *when* packets may be
+// transmitted (window and pacing), performs loss detection and recovery, and
+// defers all congestion decisions to its Algorithm. One Transport drives one
+// flow through a netsim.Port.
+type Transport struct {
+	engine *sim.Engine
+	port   *netsim.Port
+	algo   Algorithm
+	mss    int
+
+	active bool
+
+	// Sequence state.
+	nextSeq     int64
+	cumAck      int64
+	outstanding map[int64]*sentRecord
+	// retransmitQueue holds sequence numbers that must be resent before any
+	// new data.
+	retransmitQueue []int64
+
+	// Loss detection.
+	dupAcks      int
+	inRecovery   bool
+	recoverUntil int64
+	// highestAcked is the highest individual sequence number the receiver
+	// has acknowledged; packets three or more below it that remain
+	// outstanding are presumed lost (SACK-style loss detection).
+	highestAcked int64
+
+	// RTT estimation (RFC 6298).
+	srtt     sim.Time
+	rttvar   sim.Time
+	rto      sim.Time
+	hasRTT   bool
+	minRTT   sim.Time
+	rtoTimer sim.EventID
+
+	// Pacing.
+	lastSend    sim.Time
+	paceTimer   sim.EventID
+	pacePending bool
+
+	stats Stats
+
+	// OnBytesAcked, if set, is invoked whenever new bytes are cumulatively
+	// acknowledged; the workload switcher uses it to end byte-counted "on"
+	// periods.
+	OnBytesAcked func(now sim.Time, bytes int64)
+	// OnSend, if set, observes every transmitted packet (sequence plots).
+	OnSend func(p *netsim.Packet, now sim.Time)
+}
+
+// NewTransport builds a transport running algo over the given port.
+func NewTransport(engine *sim.Engine, port *netsim.Port, algo Algorithm, mss int) (*Transport, error) {
+	if engine == nil || port == nil || algo == nil {
+		return nil, fmt.Errorf("cc: NewTransport requires engine, port and algorithm")
+	}
+	if mss <= 0 {
+		mss = netsim.MTU
+	}
+	return &Transport{
+		engine:      engine,
+		port:        port,
+		algo:        algo,
+		mss:         mss,
+		outstanding: make(map[int64]*sentRecord),
+		rto:         initialRTO,
+	}, nil
+}
+
+// Algorithm returns the congestion-control algorithm driving this transport.
+func (t *Transport) Algorithm() Algorithm { return t.algo }
+
+// Stats returns a copy of the accumulated counters.
+func (t *Transport) Stats() Stats { return t.stats }
+
+// Active reports whether the flow currently has data to send.
+func (t *Transport) Active() bool { return t.active }
+
+// InFlight returns the number of outstanding (sent, unacknowledged) packets.
+func (t *Transport) InFlight() int { return len(t.outstanding) }
+
+// MinRTT returns the minimum RTT observed on the current connection.
+func (t *Transport) MinRTT() sim.Time { return t.minRTT }
+
+// StartFlow begins a new connection ("on" period): sequence space, RTT
+// estimators and the algorithm all reset, matching the paper's model of each
+// on period starting like a fresh TCP connection in slow start.
+func (t *Transport) StartFlow(now sim.Time) {
+	t.active = true
+	t.nextSeq = 0
+	t.cumAck = 0
+	t.outstanding = make(map[int64]*sentRecord)
+	t.retransmitQueue = nil
+	t.dupAcks = 0
+	t.inRecovery = false
+	t.highestAcked = -1
+	t.srtt = 0
+	t.rttvar = 0
+	t.rto = initialRTO
+	t.hasRTT = false
+	t.minRTT = 0
+	t.lastSend = 0
+	t.pacePending = false
+	t.port.Receiver().Reset()
+	t.algo.Reset(now)
+	t.maybeSend(now)
+}
+
+// StopFlow ends the current on period: timers are canceled and outstanding
+// state is discarded.
+func (t *Transport) StopFlow(now sim.Time) {
+	t.active = false
+	t.engine.Cancel(t.rtoTimer)
+	t.engine.Cancel(t.paceTimer)
+	t.pacePending = false
+	t.outstanding = make(map[int64]*sentRecord)
+	t.retransmitQueue = nil
+}
+
+// effectiveWindow clamps the algorithm's window to at least one packet.
+func (t *Transport) effectiveWindow() float64 {
+	w := t.algo.Window()
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// maybeSend transmits as many packets as the window and pacing allow.
+func (t *Transport) maybeSend(now sim.Time) {
+	if !t.active {
+		return
+	}
+	for {
+		if float64(len(t.outstanding)) >= t.effectiveWindow() {
+			return
+		}
+		gap := t.algo.PacingGap()
+		if gap > 0 && t.stats.PacketsSent > 0 {
+			next := t.lastSend + gap
+			if now < next {
+				t.armPacer(now, next)
+				return
+			}
+		}
+		t.sendOne(now)
+	}
+}
+
+func (t *Transport) armPacer(now, at sim.Time) {
+	if t.pacePending {
+		return
+	}
+	t.pacePending = true
+	t.paceTimer = t.engine.Schedule(at, func(fireAt sim.Time) {
+		t.pacePending = false
+		t.maybeSend(fireAt)
+	})
+}
+
+// sendOne transmits the next packet: a queued retransmission if any,
+// otherwise new data.
+func (t *Transport) sendOne(now sim.Time) {
+	var seq int64
+	retransmit := false
+	// Pop retransmissions whose packets have since been acknowledged.
+	for len(t.retransmitQueue) > 0 {
+		cand := t.retransmitQueue[0]
+		t.retransmitQueue = t.retransmitQueue[1:]
+		if rec := t.outstanding[cand]; rec != nil {
+			rec.queued = false
+			seq = cand
+			retransmit = true
+			break
+		}
+	}
+	if !retransmit {
+		seq = t.nextSeq
+		t.nextSeq++
+	}
+	p := &netsim.Packet{
+		Seq:         seq,
+		Size:        t.mss,
+		SentAt:      now,
+		FirstSentAt: now,
+		Retransmit:  retransmit,
+	}
+	if stamper, ok := t.algo.(PacketStamper); ok {
+		stamper.StampPacket(p, now)
+	}
+	rec := t.outstanding[seq]
+	if rec == nil {
+		rec = &sentRecord{sentAt: now}
+		t.outstanding[seq] = rec
+	} else {
+		rec.sentAt = now
+		rec.retransmitted = true
+	}
+	if retransmit {
+		rec.retransmitted = true
+		t.stats.Retransmissions++
+	}
+	t.stats.PacketsSent++
+	t.lastSend = now
+	if t.OnSend != nil {
+		t.OnSend(p, now)
+	}
+	t.port.Send(p, now)
+	t.armRTO(now)
+}
+
+func (t *Transport) armRTO(now sim.Time) {
+	t.engine.Cancel(t.rtoTimer)
+	t.rtoTimer = t.engine.Schedule(now+t.rto, t.onRTO)
+}
+
+func (t *Transport) onRTO(now sim.Time) {
+	if !t.active || len(t.outstanding) == 0 {
+		return
+	}
+	t.stats.Timeouts++
+	t.stats.LossEvents++
+	t.algo.OnTimeout(now)
+	// Go-back-N: everything beyond the cumulative ack is considered lost and
+	// will be resent as new data.
+	t.outstanding = make(map[int64]*sentRecord)
+	t.retransmitQueue = nil
+	t.nextSeq = t.cumAck
+	t.dupAcks = 0
+	t.inRecovery = false
+	// Exponential backoff.
+	t.rto *= 2
+	if t.rto > maxRTO {
+		t.rto = maxRTO
+	}
+	t.maybeSend(now)
+}
+
+func (t *Transport) updateRTT(sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	if t.minRTT == 0 || sample < t.minRTT {
+		t.minRTT = sample
+	}
+	if sample > t.stats.MaxRTT {
+		t.stats.MaxRTT = sample
+	}
+	if t.stats.MinRTT == 0 || sample < t.stats.MinRTT {
+		t.stats.MinRTT = sample
+	}
+	t.stats.RTTSum += sample
+	t.stats.RTTSamples++
+	if !t.hasRTT {
+		t.srtt = sample
+		t.rttvar = sample / 2
+		t.hasRTT = true
+	} else {
+		diff := t.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		t.rttvar = (3*t.rttvar + diff) / 4
+		t.srtt = (7*t.srtt + sample) / 8
+	}
+	rto := t.srtt + 4*t.rttvar
+	if rto < minRTO {
+		rto = minRTO
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	t.rto = rto
+}
+
+// OnAck implements netsim.Sender.
+func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
+	if !t.active {
+		return
+	}
+	t.stats.AcksReceived++
+
+	rec := t.outstanding[ack.Seq]
+	var rttSample sim.Time
+	if rec != nil && !rec.retransmitted {
+		rttSample = now - ack.SentAt
+		t.updateRTT(rttSample)
+	}
+	// The specific packet is no longer outstanding.
+	delete(t.outstanding, ack.Seq)
+	if ack.Seq > t.highestAcked {
+		t.highestAcked = ack.Seq
+	}
+
+	newly := 0
+	if ack.CumAck > t.cumAck {
+		newly = int(ack.CumAck - t.cumAck)
+		for seq := t.cumAck; seq < ack.CumAck; seq++ {
+			delete(t.outstanding, seq)
+		}
+		t.cumAck = ack.CumAck
+		t.dupAcks = 0
+		bytes := int64(newly) * int64(t.mss)
+		t.stats.BytesAcked += bytes
+		if t.OnBytesAcked != nil {
+			t.OnBytesAcked(now, bytes)
+		}
+		if t.inRecovery {
+			if t.cumAck >= t.recoverUntil {
+				t.inRecovery = false
+			} else if _, stillOut := t.outstanding[t.cumAck]; stillOut {
+				// Partial ACK: retransmit the next hole without signalling
+				// another loss event, and refresh the presumed-lost set so a
+				// burst of drops is repaired within about one round trip.
+				t.queueRetransmit(t.cumAck)
+				t.queuePresumedLost(now)
+			}
+		}
+	} else {
+		// Duplicate cumulative ACK while data is outstanding.
+		if _, holeOutstanding := t.outstanding[t.cumAck]; holeOutstanding && len(t.outstanding) > 0 {
+			t.dupAcks++
+			if t.dupAcks == 3 && !t.inRecovery {
+				t.stats.LossEvents++
+				t.inRecovery = true
+				t.recoverUntil = t.nextSeq
+				t.algo.OnLoss(now)
+				t.queueRetransmit(t.cumAck)
+				t.queuePresumedLost(now)
+			}
+		}
+	}
+
+	ev := AckEvent{
+		Now:        now,
+		RTT:        rttSample,
+		MinRTT:     t.minRTT,
+		SRTT:       t.srtt,
+		NewlyAcked: newly,
+		InFlight:   len(t.outstanding),
+		ECNEcho:    ack.ECNEcho,
+		MSS:        t.mss,
+		Ack:        ack,
+	}
+	t.algo.OnAck(ev)
+
+	if len(t.outstanding) > 0 {
+		t.armRTO(now)
+	} else {
+		t.engine.Cancel(t.rtoTimer)
+	}
+	t.maybeSend(now)
+}
+
+// queuePresumedLost queues every outstanding packet that is presumed lost
+// under a SACK-style rule: at least three higher sequence numbers have
+// already been acknowledged, and the packet has not been (re)sent within the
+// last smoothed RTT (to avoid retransmitting data that is merely still in
+// flight).
+func (t *Transport) queuePresumedLost(now sim.Time) {
+	staleAfter := t.srtt
+	if staleAfter <= 0 {
+		staleAfter = t.rto
+	}
+	for seq, rec := range t.outstanding {
+		if rec.queued || seq+3 > t.highestAcked {
+			continue
+		}
+		if now-rec.sentAt < staleAfter {
+			continue
+		}
+		t.queueRetransmit(seq)
+	}
+}
+
+func (t *Transport) queueRetransmit(seq int64) {
+	rec := t.outstanding[seq]
+	if rec == nil || rec.queued {
+		return
+	}
+	rec.queued = true
+	t.retransmitQueue = append(t.retransmitQueue, seq)
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (t *Transport) SRTT() sim.Time { return t.srtt }
+
+// RTO returns the current retransmission timeout.
+func (t *Transport) RTO() sim.Time { return t.rto }

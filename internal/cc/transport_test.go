@@ -1,0 +1,282 @@
+package cc_test
+
+import (
+	"testing"
+
+	"repro/internal/aqm"
+	"repro/internal/cc"
+	"repro/internal/cc/newreno"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// fixedWindow is a trivial algorithm with a constant window and optional
+// pacing, used to exercise the Transport in isolation.
+type fixedWindow struct {
+	window   float64
+	gap      sim.Time
+	losses   int
+	timeouts int
+	acks     int
+}
+
+func (f *fixedWindow) Name() string         { return "fixed" }
+func (f *fixedWindow) Reset(sim.Time)       {}
+func (f *fixedWindow) OnAck(ev cc.AckEvent) { f.acks++ }
+func (f *fixedWindow) OnLoss(sim.Time)      { f.losses++ }
+func (f *fixedWindow) OnTimeout(sim.Time)   { f.timeouts++ }
+func (f *fixedWindow) Window() float64      { return f.window }
+func (f *fixedWindow) PacingGap() sim.Time  { return f.gap }
+
+// buildFlow wires one transport onto a fresh dumbbell network.
+func buildFlow(t *testing.T, eng *sim.Engine, queue netsim.Queue, rateBps float64, owd sim.Time, algo cc.Algorithm) (*cc.Transport, *netsim.Network) {
+	t.Helper()
+	net, err := netsim.NewNetwork(eng, netsim.Config{Queue: queue, LinkRateBps: rateBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach a placeholder first; transport needs the port, port needs the sender.
+	var tr *cc.Transport
+	port, err := net.AttachFlow(netsim.SenderFunc(func(a netsim.Ack, now sim.Time) { tr.OnAck(a, now) }), owd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = cc.NewTransport(eng, port, algo, netsim.MTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start(0)
+	return tr, net
+}
+
+func TestNewTransportValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	net, _ := netsim.NewNetwork(eng, netsim.Config{Queue: aqm.MustDropTail(10), LinkRateBps: 1e6})
+	port, _ := net.AttachFlow(netsim.SenderFunc(func(netsim.Ack, sim.Time) {}), 0)
+	if _, err := cc.NewTransport(nil, port, &fixedWindow{window: 1}, 0); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := cc.NewTransport(eng, nil, &fixedWindow{window: 1}, 0); err == nil {
+		t.Error("nil port accepted")
+	}
+	if _, err := cc.NewTransport(eng, port, nil, 0); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	tr, err := cc.NewTransport(eng, port, &fixedWindow{window: 1}, -5)
+	if err != nil || tr == nil {
+		t.Fatal("valid construction failed")
+	}
+	if tr.Algorithm().Name() != "fixed" {
+		t.Error("Algorithm accessor")
+	}
+}
+
+func TestTransportWindowLimitedThroughput(t *testing.T) {
+	// Window of 4 packets on a 150 ms RTT path: throughput must be about
+	// 4 packets per RTT, far below the 10 Mbps link rate.
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 4}
+	tr, _ := buildFlow(t, eng, aqm.MustDropTail(1000), 10e6, 75*sim.Millisecond, algo)
+	tr.StartFlow(0)
+	eng.Run(10 * sim.Second)
+	st := tr.Stats()
+
+	rtt := 150*sim.Millisecond + sim.FromSeconds(1500*8/10e6)
+	wantPackets := int64(10 * sim.Second / rtt * 4)
+	if st.BytesAcked < int64(float64(wantPackets)*1500*0.8) || st.BytesAcked > int64(float64(wantPackets)*1500*1.2) {
+		t.Errorf("bytes acked = %d, want about %d", st.BytesAcked, wantPackets*1500)
+	}
+	if st.LossEvents != 0 || st.Retransmissions != 0 {
+		t.Errorf("unexpected losses on an uncongested path: %+v", st)
+	}
+	if tr.InFlight() > 4 {
+		t.Errorf("in-flight %d exceeds window", tr.InFlight())
+	}
+	if st.MeanRTT() < rtt || st.MeanRTT() > rtt+5*sim.Millisecond {
+		t.Errorf("mean RTT = %v, want about %v", st.MeanRTT(), rtt)
+	}
+	if tr.MinRTT() != rtt {
+		t.Errorf("min RTT = %v, want %v", tr.MinRTT(), rtt)
+	}
+	if !tr.Active() {
+		t.Error("flow should still be active")
+	}
+}
+
+func TestTransportPacingLimitsRate(t *testing.T) {
+	// Huge window but a 10 ms pacing gap: at most ~100 packets per second.
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 1000, gap: 10 * sim.Millisecond}
+	tr, _ := buildFlow(t, eng, aqm.MustDropTail(2000), 100e6, 5*sim.Millisecond, algo)
+	tr.StartFlow(0)
+	eng.Run(5 * sim.Second)
+	st := tr.Stats()
+	if st.PacketsSent > 520 {
+		t.Errorf("pacing failed: %d packets in 5 s with a 10 ms gap", st.PacketsSent)
+	}
+	if st.PacketsSent < 400 {
+		t.Errorf("pacing too strict: only %d packets sent", st.PacketsSent)
+	}
+}
+
+func TestTransportRecoversFromLossViaDupAcks(t *testing.T) {
+	// A tiny 5-packet buffer with a large fixed window forces drops; the
+	// transport must detect them via duplicate ACKs, retransmit, and keep
+	// the connection making forward progress.
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 40}
+	tr, net := buildFlow(t, eng, aqm.MustDropTail(5), 5e6, 20*sim.Millisecond, algo)
+	tr.StartFlow(0)
+	eng.Run(20 * sim.Second)
+	st := tr.Stats()
+	if net.PacketsDropped() == 0 {
+		t.Fatal("test expected drops at the bottleneck")
+	}
+	if st.LossEvents == 0 {
+		t.Error("no loss events detected despite drops")
+	}
+	if algo.losses == 0 {
+		t.Error("algorithm was not notified of losses")
+	}
+	if st.Retransmissions == 0 {
+		t.Error("no retransmissions")
+	}
+	// Forward progress: a 40-packet window over ~41ms RTT should still
+	// deliver a significant fraction of the 5 Mbps link over 20 s.
+	if st.BytesAcked < 2_000_000 {
+		t.Errorf("connection stalled: only %d bytes acked", st.BytesAcked)
+	}
+}
+
+func TestTransportTimeoutRecovery(t *testing.T) {
+	// A trace-driven link with only three delivery opportunities: after they
+	// are used up the ACK clock dies, so recovery must come from the
+	// retransmission timer.
+	eng := sim.NewEngine()
+	trace := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond}
+	net, err := netsim.NewNetwork(eng, netsim.Config{Queue: aqm.MustDropTail(1000), Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *cc.Transport
+	port, _ := net.AttachFlow(netsim.SenderFunc(func(a netsim.Ack, now sim.Time) { tr.OnAck(a, now) }), 5*sim.Millisecond)
+	algo := &fixedWindow{window: 10}
+	tr, err = cc.NewTransport(eng, port, algo, netsim.MTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start(0)
+	tr.StartFlow(0)
+	eng.Run(10 * sim.Second)
+	st := tr.Stats()
+	if st.Timeouts == 0 {
+		t.Error("expected at least one retransmission timeout")
+	}
+	if algo.timeouts == 0 {
+		t.Error("algorithm was not notified of timeouts")
+	}
+	if st.BytesAcked != 3*netsim.MTU {
+		t.Errorf("bytes acked = %d, want exactly the three delivered packets", st.BytesAcked)
+	}
+	if tr.RTO() <= 200*sim.Millisecond {
+		t.Error("RTO should have backed off after repeated timeouts")
+	}
+}
+
+func TestTransportStartStopFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 8}
+	tr, _ := buildFlow(t, eng, aqm.MustDropTail(100), 10e6, 10*sim.Millisecond, algo)
+
+	var ackedBytes int64
+	tr.OnBytesAcked = func(now sim.Time, b int64) { ackedBytes += b }
+
+	tr.StartFlow(0)
+	eng.Run(500 * sim.Millisecond)
+	if ackedBytes == 0 {
+		t.Fatal("no bytes acked during the on period")
+	}
+	eng.Schedule(500*sim.Millisecond, func(now sim.Time) { tr.StopFlow(now) })
+	eng.Run(600 * sim.Millisecond)
+	after := ackedBytes
+	if tr.Active() {
+		t.Error("flow should be inactive after StopFlow")
+	}
+	if tr.InFlight() != 0 {
+		t.Error("outstanding packets should be cleared on StopFlow")
+	}
+	// No further progress while off.
+	eng.Run(2 * sim.Second)
+	if ackedBytes != after {
+		t.Error("bytes acked advanced while the flow was off")
+	}
+	// A new on period starts from a fresh sequence space and makes progress.
+	eng.Schedule(2*sim.Second, func(now sim.Time) { tr.StartFlow(now) })
+	eng.Run(3 * sim.Second)
+	if ackedBytes <= after {
+		t.Error("no progress after restarting the flow")
+	}
+	sent := tr.Stats().PacketsSent
+	if sent == 0 {
+		t.Error("stats should accumulate across on periods")
+	}
+}
+
+func TestTransportOnSendObserver(t *testing.T) {
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 2}
+	tr, _ := buildFlow(t, eng, aqm.MustDropTail(100), 10e6, 10*sim.Millisecond, algo)
+	var seen []int64
+	tr.OnSend = func(p *netsim.Packet, now sim.Time) { seen = append(seen, p.Seq) }
+	tr.StartFlow(0)
+	eng.Run(200 * sim.Millisecond)
+	if len(seen) == 0 {
+		t.Fatal("OnSend never called")
+	}
+	if seen[0] != 0 || seen[1] != 1 {
+		t.Errorf("first sends = %v", seen[:2])
+	}
+}
+
+func TestTransportSRTTAndRTO(t *testing.T) {
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 2}
+	tr, _ := buildFlow(t, eng, aqm.MustDropTail(100), 10e6, 50*sim.Millisecond, algo)
+	tr.StartFlow(0)
+	eng.Run(2 * sim.Second)
+	rtt := 100*sim.Millisecond + sim.FromSeconds(1500*8/10e6)
+	if srtt := tr.SRTT(); srtt < rtt-sim.Millisecond || srtt > rtt+5*sim.Millisecond {
+		t.Errorf("SRTT = %v, want about %v", srtt, rtt)
+	}
+	if tr.RTO() < 200*sim.Millisecond {
+		t.Errorf("RTO = %v below the 200 ms floor", tr.RTO())
+	}
+}
+
+func TestTransportWithNewRenoFillsLink(t *testing.T) {
+	// End-to-end sanity: NewReno over a 10 Mbps, 40 ms RTT path with an
+	// adequate buffer should achieve high utilization.
+	eng := sim.NewEngine()
+	tr, net := buildFlow(t, eng, aqm.MustDropTail(1000), 10e6, 20*sim.Millisecond, newreno.New())
+	tr.StartFlow(0)
+	dur := 20 * sim.Second
+	eng.Run(dur)
+	st := tr.Stats()
+	gotBps := float64(st.BytesAcked) * 8 / dur.Seconds()
+	if gotBps < 0.7*10e6 {
+		t.Errorf("NewReno achieved only %.2f Mbps of a 10 Mbps link", gotBps/1e6)
+	}
+	if gotBps > 10.5e6 {
+		t.Errorf("throughput %.2f Mbps exceeds link rate", gotBps/1e6)
+	}
+	if util := net.Link().Utilization(dur); util > 1.001 {
+		t.Errorf("link utilization %v exceeds 1", util)
+	}
+}
+
+func TestStatsMeanRTTNoSamples(t *testing.T) {
+	var s cc.Stats
+	if s.MeanRTT() != 0 {
+		t.Error("MeanRTT with no samples should be 0")
+	}
+}

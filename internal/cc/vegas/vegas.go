@@ -1,0 +1,139 @@
+// Package vegas implements TCP Vegas (Brakmo & Peterson, SIGCOMM 1994), the
+// delay-based baseline in the paper's evaluation. Vegas estimates the
+// number of packets it has queued in the network from the difference
+// between its expected and actual sending rates and keeps that backlog
+// between alpha and beta packets.
+package vegas
+
+import (
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// Vegas parameters (packets of backlog) from the original paper and the
+// ns-2/Linux implementations.
+const (
+	Alpha = 2
+	Beta  = 4
+	Gamma = 1 // slow-start backlog threshold
+)
+
+// Vegas is the delay-based congestion-control algorithm.
+type Vegas struct {
+	cwnd     float64
+	ssthresh float64
+	baseRTT  sim.Time
+	// Per-RTT bookkeeping: Vegas adjusts its window once per round trip.
+	lastAdjust   sim.Time
+	minRTTinRTT  sim.Time
+	inSlowStart  bool
+	slowStartOdd bool
+}
+
+// New returns a Vegas algorithm instance.
+func New() *Vegas {
+	v := &Vegas{}
+	v.Reset(0)
+	return v
+}
+
+// Name implements cc.Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Reset implements cc.Algorithm.
+func (v *Vegas) Reset(now sim.Time) {
+	v.cwnd = 2
+	v.ssthresh = 1 << 20
+	v.baseRTT = 0
+	v.lastAdjust = now
+	v.minRTTinRTT = 0
+	v.inSlowStart = true
+	v.slowStartOdd = false
+}
+
+// OnAck implements cc.Algorithm.
+func (v *Vegas) OnAck(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		if v.baseRTT == 0 || ev.RTT < v.baseRTT {
+			v.baseRTT = ev.RTT
+		}
+		if v.minRTTinRTT == 0 || ev.RTT < v.minRTTinRTT {
+			v.minRTTinRTT = ev.RTT
+		}
+	}
+	if v.baseRTT == 0 || v.minRTTinRTT == 0 {
+		// No RTT estimate yet: behave like slow start.
+		v.cwnd += float64(ev.NewlyAcked)
+		return
+	}
+	// Adjust once per RTT.
+	if ev.Now-v.lastAdjust < v.minRTTinRTT {
+		return
+	}
+	v.lastAdjust = ev.Now
+	rtt := v.minRTTinRTT
+	v.minRTTinRTT = 0
+
+	expected := v.cwnd / v.baseRTT.Seconds()
+	actual := v.cwnd / rtt.Seconds()
+	diff := (expected - actual) * v.baseRTT.Seconds() // backlog in packets
+
+	if v.inSlowStart {
+		if diff > Gamma {
+			// Leave slow start and settle.
+			v.inSlowStart = false
+			v.cwnd -= diff / 2
+			if v.cwnd < 2 {
+				v.cwnd = 2
+			}
+			return
+		}
+		// Double every other RTT (Vegas's cautious slow start).
+		v.slowStartOdd = !v.slowStartOdd
+		if v.slowStartOdd {
+			v.cwnd *= 2
+		}
+		return
+	}
+
+	switch {
+	case diff < Alpha:
+		v.cwnd++
+	case diff > Beta:
+		v.cwnd--
+	}
+	if v.cwnd < 2 {
+		v.cwnd = 2
+	}
+}
+
+// OnLoss implements cc.Algorithm: Vegas halves its window on packet loss
+// like Reno.
+func (v *Vegas) OnLoss(now sim.Time) {
+	v.inSlowStart = false
+	v.cwnd /= 2
+	if v.cwnd < 2 {
+		v.cwnd = 2
+	}
+	v.ssthresh = v.cwnd
+}
+
+// OnTimeout implements cc.Algorithm.
+func (v *Vegas) OnTimeout(now sim.Time) {
+	v.inSlowStart = true
+	v.slowStartOdd = false
+	v.ssthresh = v.cwnd / 2
+	if v.ssthresh < 2 {
+		v.ssthresh = 2
+	}
+	v.cwnd = 2
+}
+
+// Window implements cc.Algorithm.
+func (v *Vegas) Window() float64 { return v.cwnd }
+
+// PacingGap implements cc.Algorithm.
+func (v *Vegas) PacingGap() sim.Time { return 0 }
+
+// BaseRTT exposes the base RTT estimate for tests.
+func (v *Vegas) BaseRTT() sim.Time { return v.baseRTT }

@@ -1,0 +1,109 @@
+package vegas
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+func ev(now, rtt sim.Time, newly int) cc.AckEvent {
+	return cc.AckEvent{Now: now, RTT: rtt, MinRTT: rtt, NewlyAcked: newly}
+}
+
+func TestVegasBasics(t *testing.T) {
+	v := New()
+	if v.Name() != "vegas" || v.PacingGap() != 0 {
+		t.Error("basics")
+	}
+	if v.Window() != 2 {
+		t.Errorf("initial window = %v", v.Window())
+	}
+	if v.BaseRTT() != 0 {
+		t.Error("baseRTT should start unset")
+	}
+}
+
+func TestVegasTracksBaseRTT(t *testing.T) {
+	v := New()
+	v.OnAck(ev(100*sim.Millisecond, 120*sim.Millisecond, 1))
+	v.OnAck(ev(200*sim.Millisecond, 100*sim.Millisecond, 1))
+	v.OnAck(ev(300*sim.Millisecond, 140*sim.Millisecond, 1))
+	if v.BaseRTT() != 100*sim.Millisecond {
+		t.Errorf("baseRTT = %v, want 100ms", v.BaseRTT())
+	}
+}
+
+func TestVegasIncreasesWhenNoQueueing(t *testing.T) {
+	v := New()
+	v.inSlowStart = false // test the congestion-avoidance rule directly
+	v.baseRTT = 100 * sim.Millisecond
+	v.cwnd = 10
+	start := v.cwnd
+	// RTT equal to baseRTT: diff = 0 < alpha -> +1 per RTT.
+	now := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		now += 100 * sim.Millisecond
+		v.OnAck(ev(now, 100*sim.Millisecond, 1))
+	}
+	if v.Window() <= start {
+		t.Errorf("window should grow when there is no queueing: %v -> %v", start, v.Window())
+	}
+}
+
+func TestVegasDecreasesWhenQueueingHigh(t *testing.T) {
+	v := New()
+	v.inSlowStart = false
+	v.baseRTT = 100 * sim.Millisecond
+	v.cwnd = 30
+	start := v.cwnd
+	// RTT far above baseRTT: large backlog -> decrease.
+	now := sim.Time(0)
+	for i := 0; i < 5; i++ {
+		now += 200 * sim.Millisecond
+		v.OnAck(ev(now, 200*sim.Millisecond, 1))
+	}
+	if v.Window() >= start {
+		t.Errorf("window should shrink under heavy queueing: %v -> %v", start, v.Window())
+	}
+	if v.Window() < 2 {
+		t.Error("window floor")
+	}
+}
+
+func TestVegasSlowStartExitsOnQueueing(t *testing.T) {
+	v := New()
+	now := sim.Time(0)
+	// First establish baseRTT with an uncongested ack.
+	now += 100 * sim.Millisecond
+	v.OnAck(ev(now, 100*sim.Millisecond, 1))
+	grew := v.Window()
+	if grew <= 2 {
+		t.Fatalf("window should grow before slow-start exit, got %v", grew)
+	}
+	// Now a heavily queued RTT: diff exceeds gamma, slow start must end.
+	for i := 0; i < 4; i++ {
+		now += 300 * sim.Millisecond
+		v.OnAck(ev(now, 300*sim.Millisecond, 1))
+	}
+	if v.inSlowStart {
+		t.Error("Vegas did not exit slow start despite heavy queueing")
+	}
+}
+
+func TestVegasLossAndTimeout(t *testing.T) {
+	v := New()
+	v.cwnd = 20
+	v.OnLoss(0)
+	if v.Window() != 10 {
+		t.Errorf("window after loss = %v, want 10", v.Window())
+	}
+	v.OnTimeout(0)
+	if v.Window() != 2 {
+		t.Errorf("window after timeout = %v, want 2", v.Window())
+	}
+	v.Reset(0)
+	if v.Window() != 2 || v.BaseRTT() != 0 {
+		t.Error("Reset")
+	}
+}

@@ -1,0 +1,93 @@
+// Package xcp implements the sender side of the eXplicit Control Protocol
+// (Katabi, Handley & Rohrs, SIGCOMM 2002), the router-assisted baseline in
+// the paper's evaluation. XCP senders advertise their congestion window and
+// RTT in a congestion header on every packet; the bottleneck router
+// (internal/aqm.XCPQueue) computes a per-packet window adjustment, which the
+// receiver echoes back and the sender applies directly.
+package xcp
+
+import (
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// XCP is the explicit-feedback congestion-control algorithm (sender side).
+type XCP struct {
+	cwndBytes float64
+	mss       int
+	srtt      sim.Time
+}
+
+// New returns an XCP sender with the given segment size.
+func New(mss int) *XCP {
+	if mss <= 0 {
+		mss = netsim.MTU
+	}
+	x := &XCP{mss: mss}
+	x.Reset(0)
+	return x
+}
+
+// Name implements cc.Algorithm.
+func (x *XCP) Name() string { return "xcp" }
+
+// Reset implements cc.Algorithm.
+func (x *XCP) Reset(now sim.Time) {
+	x.cwndBytes = 2 * float64(x.mss)
+	x.srtt = 0
+}
+
+// StampPacket implements cc.PacketStamper: every data packet carries the
+// sender's current window and RTT estimate in its congestion header.
+func (x *XCP) StampPacket(p *netsim.Packet, now sim.Time) {
+	p.XCP = &netsim.XCPHeader{
+		CwndBytes: x.cwndBytes,
+		RTT:       x.srtt,
+	}
+}
+
+// OnAck implements cc.Algorithm: apply the router-allocated feedback
+// directly to the window, one MSS minimum.
+func (x *XCP) OnAck(ev cc.AckEvent) {
+	if ev.RTT > 0 {
+		if x.srtt == 0 {
+			x.srtt = ev.RTT
+		} else {
+			x.srtt = (7*x.srtt + ev.RTT) / 8
+		}
+	}
+	if ev.Ack.HasXCP {
+		x.cwndBytes += ev.Ack.XCPFeedback
+	} else {
+		// Without router support XCP degenerates to one-packet-per-ack
+		// growth so it can still make progress in tests.
+		x.cwndBytes += float64(ev.NewlyAcked) * float64(x.mss) / x.Window()
+	}
+	if x.cwndBytes < float64(x.mss) {
+		x.cwndBytes = float64(x.mss)
+	}
+}
+
+// OnLoss implements cc.Algorithm. Losses are rare under XCP (the router
+// keeps queues small); respond like Reno for safety.
+func (x *XCP) OnLoss(now sim.Time) {
+	x.cwndBytes /= 2
+	if x.cwndBytes < float64(x.mss) {
+		x.cwndBytes = float64(x.mss)
+	}
+}
+
+// OnTimeout implements cc.Algorithm.
+func (x *XCP) OnTimeout(now sim.Time) {
+	x.cwndBytes = float64(x.mss)
+}
+
+// Window implements cc.Algorithm (window in packets).
+func (x *XCP) Window() float64 { return x.cwndBytes / float64(x.mss) }
+
+// PacingGap implements cc.Algorithm.
+func (x *XCP) PacingGap() sim.Time { return 0 }
+
+// CwndBytes exposes the byte window for tests.
+func (x *XCP) CwndBytes() float64 { return x.cwndBytes }

@@ -1,0 +1,99 @@
+package xcp
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestXCPBasics(t *testing.T) {
+	x := New(1500)
+	if x.Name() != "xcp" || x.PacingGap() != 0 {
+		t.Error("basics")
+	}
+	if x.Window() != 2 {
+		t.Errorf("initial window = %v packets", x.Window())
+	}
+	if x.CwndBytes() != 3000 {
+		t.Errorf("initial window = %v bytes", x.CwndBytes())
+	}
+	// Zero MSS falls back to the MTU.
+	y := New(0)
+	if y.Window() != 2 {
+		t.Error("default MSS")
+	}
+}
+
+func TestXCPStampsHeader(t *testing.T) {
+	x := New(1500)
+	// Feed an RTT estimate first.
+	x.OnAck(cc.AckEvent{RTT: 80 * sim.Millisecond, NewlyAcked: 1, Ack: netsim.Ack{}})
+	p := &netsim.Packet{}
+	x.StampPacket(p, 0)
+	if p.XCP == nil {
+		t.Fatal("no XCP header")
+	}
+	if p.XCP.CwndBytes != x.CwndBytes() {
+		t.Error("header window mismatch")
+	}
+	if p.XCP.RTT != 80*sim.Millisecond {
+		t.Errorf("header RTT = %v", p.XCP.RTT)
+	}
+}
+
+func TestXCPAppliesRouterFeedback(t *testing.T) {
+	x := New(1500)
+	before := x.CwndBytes()
+	x.OnAck(cc.AckEvent{NewlyAcked: 1, Ack: netsim.Ack{HasXCP: true, XCPFeedback: 4500}})
+	if x.CwndBytes() != before+4500 {
+		t.Errorf("positive feedback not applied: %v -> %v", before, x.CwndBytes())
+	}
+	x.OnAck(cc.AckEvent{NewlyAcked: 1, Ack: netsim.Ack{HasXCP: true, XCPFeedback: -100000}})
+	if x.CwndBytes() != 1500 {
+		t.Errorf("negative feedback should clamp at one MSS, got %v", x.CwndBytes())
+	}
+}
+
+func TestXCPWithoutRouterDegradesGracefully(t *testing.T) {
+	x := New(1500)
+	before := x.Window()
+	for i := 0; i < 10; i++ {
+		x.OnAck(cc.AckEvent{NewlyAcked: 1, Ack: netsim.Ack{}})
+	}
+	if x.Window() <= before {
+		t.Error("window should still grow slowly without router feedback")
+	}
+}
+
+func TestXCPSRTTSmoothing(t *testing.T) {
+	x := New(1500)
+	x.OnAck(cc.AckEvent{RTT: 100 * sim.Millisecond, NewlyAcked: 1})
+	x.OnAck(cc.AckEvent{RTT: 200 * sim.Millisecond, NewlyAcked: 1})
+	if x.srtt <= 100*sim.Millisecond || x.srtt >= 200*sim.Millisecond {
+		t.Errorf("srtt = %v, want smoothed value between samples", x.srtt)
+	}
+}
+
+func TestXCPLossTimeoutReset(t *testing.T) {
+	x := New(1500)
+	x.cwndBytes = 30000
+	x.OnLoss(0)
+	if x.CwndBytes() != 15000 {
+		t.Errorf("loss response = %v", x.CwndBytes())
+	}
+	x.OnTimeout(0)
+	if x.CwndBytes() != 1500 {
+		t.Errorf("timeout response = %v", x.CwndBytes())
+	}
+	x.cwndBytes = 50
+	x.OnLoss(0)
+	if x.CwndBytes() < 1500 {
+		t.Error("window floor of one MSS")
+	}
+	x.Reset(0)
+	if x.CwndBytes() != 3000 {
+		t.Error("Reset")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Action bounds. The paper requires m >= 0 and r > 0; the remaining bounds
+// keep the optimizer's search space finite and the sender's behaviour sane.
+const (
+	MinWindowMultiple  = 0.0
+	MaxWindowMultiple  = 4.0
+	MinWindowIncrement = -64.0
+	MaxWindowIncrement = 64.0
+	// MinIntersendMs is the smallest allowed pacing interval (r > 0).
+	MinIntersendMs = 0.002
+	MaxIntersendMs = 1000.0
+	// MaxWindow caps the congestion window a RemyCC can reach, matching the
+	// bounded rule-table domain.
+	MaxWindow = 4096.0
+)
+
+// Action is the three-component output of a whisker (§4.2): on each ACK the
+// sender sets cwnd <- m*cwnd + b and will not transmit two packets closer
+// together than r milliseconds.
+type Action struct {
+	// WindowMultiple is m, the multiple applied to the current congestion
+	// window (m >= 0).
+	WindowMultiple float64 `json:"window_multiple"`
+	// WindowIncrement is b, the (possibly negative) increment added to the
+	// congestion window.
+	WindowIncrement float64 `json:"window_increment"`
+	// IntersendMs is r, the lower bound in milliseconds on the time between
+	// successive sends (r > 0).
+	IntersendMs float64 `json:"intersend_ms"`
+}
+
+// DefaultAction is the action of the single initial rule in Remy's design
+// procedure: m=1, b=1, r=0.01 (§4.3).
+func DefaultAction() Action {
+	return Action{WindowMultiple: 1, WindowIncrement: 1, IntersendMs: 0.01}
+}
+
+// Clamp limits each component to its legal range.
+func (a Action) Clamp() Action {
+	return Action{
+		WindowMultiple:  clamp(a.WindowMultiple, MinWindowMultiple, MaxWindowMultiple),
+		WindowIncrement: clamp(a.WindowIncrement, MinWindowIncrement, MaxWindowIncrement),
+		IntersendMs:     clamp(a.IntersendMs, MinIntersendMs, MaxIntersendMs),
+	}
+}
+
+// Apply returns the new congestion window after applying the action to the
+// current window, clamped to [0, MaxWindow].
+func (a Action) Apply(cwnd float64) float64 {
+	next := a.WindowMultiple*cwnd + a.WindowIncrement
+	return clamp(next, 0, MaxWindow)
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("{m=%.4g b=%.4g r=%.4gms}", a.WindowMultiple, a.WindowIncrement, a.IntersendMs)
+}
+
+// Equal reports whether two actions are component-wise identical.
+func (a Action) Equal(b Action) bool {
+	return a.WindowMultiple == b.WindowMultiple &&
+		a.WindowIncrement == b.WindowIncrement &&
+		a.IntersendMs == b.IntersendMs
+}
+
+// Neighbors enumerates the candidate actions the optimizer evaluates when
+// improving a rule (§4.3 step 3): for each component, the current value plus
+// and minus a geometric ladder of increments (step, step*mult, step*mult²,
+// ... for `rungs` rungs), combined as a Cartesian product across the three
+// components and clamped to the legal ranges. The current action itself is
+// excluded.
+func (a Action) Neighbors(rungs int) []Action {
+	if rungs <= 0 {
+		rungs = 2
+	}
+	const ladderMultiplier = 8.0
+	ladder := func(base float64) []float64 {
+		deltas := []float64{0}
+		step := base
+		for i := 0; i < rungs; i++ {
+			deltas = append(deltas, step, -step)
+			step *= ladderMultiplier
+		}
+		return deltas
+	}
+	multiples := ladder(0.01)
+	increments := ladder(1)
+	intersends := ladder(0.05)
+
+	seen := make(map[Action]bool)
+	var out []Action
+	for _, dm := range multiples {
+		for _, db := range increments {
+			for _, dr := range intersends {
+				cand := Action{
+					WindowMultiple:  a.WindowMultiple + dm,
+					WindowIncrement: a.WindowIncrement + db,
+					IntersendMs:     a.IntersendMs + dr,
+				}.Clamp()
+				if cand.Equal(a) || seen[cand] {
+					continue
+				}
+				seen[cand] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution at run time: the
+// RemyCC congestion-control algorithm. A RemyCC is a pre-computed rule table
+// (a "whisker tree") mapping the sender's three-dimensional memory — an EWMA
+// of ACK interarrival times, an EWMA of the corresponding send spacings, and
+// the ratio of the latest RTT to the minimum RTT — to a three-component
+// action: a window multiple m, a window increment b, and a minimum
+// inter-send spacing r (§4.1–§4.2).
+//
+// The tables themselves are produced offline by internal/optimizer (the Remy
+// design procedure); this package provides the data structures, the sender
+// that executes a table, and JSON (de)serialization so generated RemyCCs can
+// be stored under assets/ and shipped with the repository.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxMemoryValue bounds every memory axis; the paper's initial rule covers
+// values of the state variables between 0 and 16,384.
+const MaxMemoryValue = 16384.0
+
+// EWMAWeight is the weight given to each new sample in the two EWMAs (§4.1:
+// "a weight of 1/8 is given to the new sample").
+const EWMAWeight = 1.0 / 8.0
+
+// Memory is the RemyCC state vector updated on every incoming ACK.
+type Memory struct {
+	// AckEWMA is an EWMA of the interarrival time between new ACKs, in
+	// milliseconds.
+	AckEWMA float64 `json:"ack_ewma"`
+	// SendEWMA is an EWMA of the spacing between the sender timestamps
+	// echoed in those ACKs, in milliseconds.
+	SendEWMA float64 `json:"send_ewma"`
+	// RTTRatio is the ratio between the most recent RTT and the minimum RTT
+	// seen during the current connection.
+	RTTRatio float64 `json:"rtt_ratio"`
+}
+
+// Clamp limits every memory field to [0, MaxMemoryValue].
+func (m Memory) Clamp() Memory {
+	return Memory{
+		AckEWMA:  clamp(m.AckEWMA, 0, MaxMemoryValue),
+		SendEWMA: clamp(m.SendEWMA, 0, MaxMemoryValue),
+		RTTRatio: clamp(m.RTTRatio, 0, MaxMemoryValue),
+	}
+}
+
+// Axis returns the i-th memory field (0: AckEWMA, 1: SendEWMA, 2: RTTRatio).
+func (m Memory) Axis(i int) float64 {
+	switch i {
+	case 0:
+		return m.AckEWMA
+	case 1:
+		return m.SendEWMA
+	default:
+		return m.RTTRatio
+	}
+}
+
+// WithAxis returns a copy of m with the i-th field replaced by v.
+func (m Memory) WithAxis(i int, v float64) Memory {
+	switch i {
+	case 0:
+		m.AckEWMA = v
+	case 1:
+		m.SendEWMA = v
+	default:
+		m.RTTRatio = v
+	}
+	return m
+}
+
+func (m Memory) String() string {
+	return fmt.Sprintf("(ack_ewma=%.3f, send_ewma=%.3f, rtt_ratio=%.3f)", m.AckEWMA, m.SendEWMA, m.RTTRatio)
+}
+
+// UpdateEWMAs folds a new ACK-interarrival / send-interarrival observation
+// (both in milliseconds) into the memory with weight EWMAWeight.
+func (m Memory) UpdateEWMAs(ackInterarrivalMs, sendInterarrivalMs float64) Memory {
+	m.AckEWMA = (1-EWMAWeight)*m.AckEWMA + EWMAWeight*ackInterarrivalMs
+	m.SendEWMA = (1-EWMAWeight)*m.SendEWMA + EWMAWeight*sendInterarrivalMs
+	return m
+}
+
+// MemoryRange is an axis-aligned box of memory space: Lower inclusive,
+// Upper exclusive on every axis. Each whisker's domain is such a box.
+type MemoryRange struct {
+	Lower Memory `json:"lower"`
+	Upper Memory `json:"upper"`
+}
+
+// FullMemoryRange covers the entire memory space, the domain of the single
+// initial rule in Remy's design procedure.
+func FullMemoryRange() MemoryRange {
+	return MemoryRange{
+		Lower: Memory{},
+		Upper: Memory{AckEWMA: MaxMemoryValue, SendEWMA: MaxMemoryValue, RTTRatio: MaxMemoryValue},
+	}
+}
+
+// Contains reports whether the memory point lies inside the box.
+func (r MemoryRange) Contains(m Memory) bool {
+	for i := 0; i < 3; i++ {
+		v := m.Axis(i)
+		if v < r.Lower.Axis(i) || v >= r.Upper.Axis(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Midpoint returns the center of the box.
+func (r MemoryRange) Midpoint() Memory {
+	return Memory{
+		AckEWMA:  (r.Lower.AckEWMA + r.Upper.AckEWMA) / 2,
+		SendEWMA: (r.Lower.SendEWMA + r.Upper.SendEWMA) / 2,
+		RTTRatio: (r.Lower.RTTRatio + r.Upper.RTTRatio) / 2,
+	}
+}
+
+// ClampInterior returns a split point strictly inside the box, snapping the
+// supplied point onto the interior if it lies on or outside a face. Splits
+// at a face would create empty children, so the midpoint is used instead on
+// any degenerate axis.
+func (r MemoryRange) ClampInterior(p Memory) Memory {
+	out := p
+	for i := 0; i < 3; i++ {
+		lo, hi := r.Lower.Axis(i), r.Upper.Axis(i)
+		v := out.Axis(i)
+		if !(v > lo && v < hi) {
+			out = out.WithAxis(i, (lo+hi)/2)
+		}
+	}
+	return out
+}
+
+// Split divides the box into 8 sub-boxes at the given interior point (one
+// per corner combination), the subdivision step of the design procedure
+// (§4.3 step 5).
+func (r MemoryRange) Split(at Memory) []MemoryRange {
+	at = r.ClampInterior(at)
+	out := make([]MemoryRange, 0, 8)
+	for corner := 0; corner < 8; corner++ {
+		lower := Memory{}
+		upper := Memory{}
+		for axis := 0; axis < 3; axis++ {
+			if corner&(1<<axis) == 0 {
+				lower = lower.WithAxis(axis, r.Lower.Axis(axis))
+				upper = upper.WithAxis(axis, at.Axis(axis))
+			} else {
+				lower = lower.WithAxis(axis, at.Axis(axis))
+				upper = upper.WithAxis(axis, r.Upper.Axis(axis))
+			}
+		}
+		out = append(out, MemoryRange{Lower: lower, Upper: upper})
+	}
+	return out
+}
+
+// Volume returns the box's volume (product of side lengths).
+func (r MemoryRange) Volume() float64 {
+	v := 1.0
+	for i := 0; i < 3; i++ {
+		v *= r.Upper.Axis(i) - r.Lower.Axis(i)
+	}
+	return v
+}
+
+func (r MemoryRange) String() string {
+	return fmt.Sprintf("[%s .. %s)", r.Lower, r.Upper)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// UsageRecorder receives one callback per rule lookup during a simulation.
+// The optimizer uses it to find the most-used rule of the current epoch and
+// the median memory point that triggered it (§4.3 steps 2 and 5).
+type UsageRecorder interface {
+	RecordUse(whiskerIndex int, mem Memory)
+}
+
+// Sender executes a RemyCC: on every incoming ACK it updates its memory,
+// looks up the matching whisker, and applies that whisker's action to its
+// congestion window and pacing interval. It implements cc.Algorithm, so it
+// plugs into the same Transport (and therefore the same loss-recovery
+// machinery) as every baseline TCP variant, exactly as the paper implants
+// RemyCCs into an existing TCP sender.
+type Sender struct {
+	tree *WhiskerTree
+
+	mem       Memory
+	cwnd      float64
+	intersend sim.Time
+
+	haveAck     bool
+	lastAckTime sim.Time
+	lastSentTS  sim.Time
+
+	// Recorder, when non-nil, observes every rule lookup.
+	Recorder UsageRecorder
+}
+
+// NewSender builds a RemyCC sender executing the given rule table. The tree
+// is used read-only, so many senders (across goroutines running separate
+// simulations) may share one tree.
+func NewSender(tree *WhiskerTree) *Sender {
+	s := &Sender{tree: tree}
+	s.Reset(0)
+	return s
+}
+
+// Name implements cc.Algorithm.
+func (s *Sender) Name() string { return "remy" }
+
+// Tree returns the rule table this sender executes.
+func (s *Sender) Tree() *WhiskerTree { return s.tree }
+
+// Memory returns the sender's current memory (for tests and tracing).
+func (s *Sender) Memory() Memory { return s.mem }
+
+// Reset implements cc.Algorithm: the memory returns to the all-zeroes
+// initial state at the start of each connection (§4.1) and the window starts
+// at one segment.
+func (s *Sender) Reset(now sim.Time) {
+	s.mem = Memory{}
+	s.cwnd = 1
+	s.intersend = 0
+	s.haveAck = false
+	s.lastAckTime = 0
+	s.lastSentTS = 0
+	s.applyCurrent()
+}
+
+// applyCurrent refreshes the pacing interval from the rule matching the
+// current memory without modifying the window (used at connection start).
+func (s *Sender) applyCurrent() {
+	_, action := s.tree.Lookup(s.mem)
+	s.intersend = sim.FromMillis(action.IntersendMs)
+}
+
+// OnAck implements cc.Algorithm: update the memory from this ACK's timing,
+// look up the action, and apply it.
+func (s *Sender) OnAck(ev cc.AckEvent) {
+	now := ev.Now
+	sentAt := ev.Ack.SentAt
+
+	if !s.haveAck {
+		s.haveAck = true
+		s.lastAckTime = now
+		s.lastSentTS = sentAt
+	} else {
+		ackGap := float64(now-s.lastAckTime) / float64(sim.Millisecond)
+		sendGap := float64(sentAt-s.lastSentTS) / float64(sim.Millisecond)
+		if ackGap < 0 {
+			ackGap = 0
+		}
+		if sendGap < 0 {
+			sendGap = 0
+		}
+		s.mem = s.mem.UpdateEWMAs(ackGap, sendGap)
+		s.lastAckTime = now
+		s.lastSentTS = sentAt
+	}
+	if ev.RTT > 0 && ev.MinRTT > 0 {
+		s.mem.RTTRatio = float64(ev.RTT) / float64(ev.MinRTT)
+	}
+	s.mem = s.mem.Clamp()
+
+	idx, action := s.tree.Lookup(s.mem)
+	if s.Recorder != nil {
+		s.Recorder.RecordUse(idx, s.mem)
+	}
+	s.cwnd = action.Apply(s.cwnd)
+	s.intersend = sim.FromMillis(action.IntersendMs)
+}
+
+// OnLoss implements cc.Algorithm. RemyCCs intentionally do not use packet
+// loss as a congestion signal (§4.1); the Transport still performs loss
+// recovery (retransmission), but the window is driven purely by the rule
+// table.
+func (s *Sender) OnLoss(now sim.Time) {}
+
+// OnTimeout implements cc.Algorithm. A retransmission timeout means the ACK
+// clock stalled; restart conservatively from one segment so the connection
+// can re-establish its ACK clock, while leaving the memory intact.
+func (s *Sender) OnTimeout(now sim.Time) {
+	if s.cwnd > 1 {
+		s.cwnd = 1
+	}
+}
+
+// Window implements cc.Algorithm.
+func (s *Sender) Window() float64 { return s.cwnd }
+
+// PacingGap implements cc.Algorithm: the r component of the current action.
+func (s *Sender) PacingGap() sim.Time { return s.intersend }

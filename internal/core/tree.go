@@ -1,0 +1,295 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Whisker is one rule of a RemyCC: a rectangular region of memory space
+// mapped to an action, plus the bookkeeping the optimizer needs (the epoch
+// counter of §4.3).
+type Whisker struct {
+	// Index is the whisker's position in the tree's leaf enumeration; it is
+	// assigned by the tree and changes when the structure changes.
+	Index int `json:"-"`
+	// Domain is the memory-space box this rule covers.
+	Domain MemoryRange `json:"domain"`
+	// Action is the rule's output.
+	Action Action `json:"action"`
+	// Epoch is the optimizer's per-rule epoch counter.
+	Epoch int `json:"epoch"`
+}
+
+// node is one octree node: either a leaf holding a whisker, or an internal
+// node with a split point and eight children.
+type node struct {
+	leaf     bool
+	whisker  Whisker
+	split    Memory
+	children []*node
+}
+
+// WhiskerTree is the RemyCC rule table: an octree over memory space whose
+// leaves are whiskers. Lookups walk the tree; the optimizer manipulates
+// leaves by index.
+type WhiskerTree struct {
+	root   *node
+	leaves []*node // leaf enumeration in deterministic (DFS) order
+}
+
+// NewWhiskerTree returns a tree with a single whisker covering all of memory
+// space with the given action (the initial RemyCC of §4.3).
+func NewWhiskerTree(action Action) *WhiskerTree {
+	t := &WhiskerTree{
+		root: &node{leaf: true, whisker: Whisker{Domain: FullMemoryRange(), Action: action.Clamp()}},
+	}
+	t.reindex()
+	return t
+}
+
+// DefaultWhiskerTree returns the initial RemyCC with the default action.
+func DefaultWhiskerTree() *WhiskerTree { return NewWhiskerTree(DefaultAction()) }
+
+func (t *WhiskerTree) reindex() {
+	t.leaves = t.leaves[:0]
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			n.whisker.Index = len(t.leaves)
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// NumWhiskers returns the number of rules (leaves) in the tree.
+func (t *WhiskerTree) NumWhiskers() int { return len(t.leaves) }
+
+// Whiskers returns a snapshot of all rules in index order.
+func (t *WhiskerTree) Whiskers() []Whisker {
+	out := make([]Whisker, len(t.leaves))
+	for i, n := range t.leaves {
+		out[i] = n.whisker
+	}
+	return out
+}
+
+// Whisker returns the rule with the given index.
+func (t *WhiskerTree) Whisker(index int) (Whisker, error) {
+	if index < 0 || index >= len(t.leaves) {
+		return Whisker{}, fmt.Errorf("core: whisker index %d out of range [0,%d)", index, len(t.leaves))
+	}
+	return t.leaves[index].whisker, nil
+}
+
+// Lookup finds the rule whose domain contains the (clamped) memory point and
+// returns its index and action. Every point maps to exactly one rule.
+func (t *WhiskerTree) Lookup(m Memory) (int, Action) {
+	m = t.clampToDomain(m)
+	n := t.root
+	for !n.leaf {
+		idx := 0
+		for axis := 0; axis < 3; axis++ {
+			if m.Axis(axis) >= n.split.Axis(axis) {
+				idx |= 1 << axis
+			}
+		}
+		n = n.children[idx]
+	}
+	return n.whisker.Index, n.whisker.Action
+}
+
+// clampToDomain nudges a memory point into the root domain's half-open box.
+func (t *WhiskerTree) clampToDomain(m Memory) Memory {
+	dom := t.root.whiskerDomain()
+	out := m
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := dom.Lower.Axis(axis), dom.Upper.Axis(axis)
+		v := out.Axis(axis)
+		if v < lo {
+			out = out.WithAxis(axis, lo)
+		} else if v >= hi {
+			// Largest representable value strictly below the upper bound.
+			out = out.WithAxis(axis, hi-1e-9)
+		}
+	}
+	return out
+}
+
+func (n *node) whiskerDomain() MemoryRange {
+	if n.leaf {
+		return n.whisker.Domain
+	}
+	// The root of a non-leaf subtree spans the union of its children, which
+	// by construction is the box split at n.split; reconstruct from corners.
+	lower := n.children[0].whiskerDomain().Lower
+	upper := n.children[len(n.children)-1].whiskerDomain().Upper
+	return MemoryRange{Lower: lower, Upper: upper}
+}
+
+// SetAction replaces the action of the rule with the given index.
+func (t *WhiskerTree) SetAction(index int, a Action) error {
+	if index < 0 || index >= len(t.leaves) {
+		return fmt.Errorf("core: whisker index %d out of range", index)
+	}
+	t.leaves[index].whisker.Action = a.Clamp()
+	return nil
+}
+
+// SetEpoch sets the epoch of the rule with the given index.
+func (t *WhiskerTree) SetEpoch(index, epoch int) error {
+	if index < 0 || index >= len(t.leaves) {
+		return fmt.Errorf("core: whisker index %d out of range", index)
+	}
+	t.leaves[index].whisker.Epoch = epoch
+	return nil
+}
+
+// SetAllEpochs sets every rule's epoch (§4.3 step 1).
+func (t *WhiskerTree) SetAllEpochs(epoch int) {
+	for _, n := range t.leaves {
+		n.whisker.Epoch = epoch
+	}
+}
+
+// Split replaces the rule with the given index by eight children split at
+// the supplied memory point (clamped to the rule's interior), each child
+// inheriting the parent's action and epoch (§4.3 step 5). Indices are
+// reassigned afterwards.
+func (t *WhiskerTree) Split(index int, at Memory) error {
+	if index < 0 || index >= len(t.leaves) {
+		return fmt.Errorf("core: whisker index %d out of range", index)
+	}
+	n := t.leaves[index]
+	parent := n.whisker
+	at = parent.Domain.ClampInterior(at)
+	boxes := parent.Domain.Split(at)
+	n.leaf = false
+	n.split = at
+	n.children = make([]*node, len(boxes))
+	for i, box := range boxes {
+		n.children[i] = &node{
+			leaf:    true,
+			whisker: Whisker{Domain: box, Action: parent.Action, Epoch: parent.Epoch},
+		}
+	}
+	n.whisker = Whisker{}
+	t.reindex()
+	return nil
+}
+
+// Clone returns a deep copy of the tree. The optimizer clones the current
+// best tree before trying candidate modifications.
+func (t *WhiskerTree) Clone() *WhiskerTree {
+	out := &WhiskerTree{root: cloneNode(t.root)}
+	out.reindex()
+	return out
+}
+
+func cloneNode(n *node) *node {
+	c := &node{leaf: n.leaf, whisker: n.whisker, split: n.split}
+	if !n.leaf {
+		c.children = make([]*node, len(n.children))
+		for i, child := range n.children {
+			c.children[i] = cloneNode(child)
+		}
+	}
+	return c
+}
+
+// treeJSON is the serialized form: a recursive node structure.
+type treeJSON struct {
+	Leaf     bool        `json:"leaf"`
+	Whisker  *Whisker    `json:"whisker,omitempty"`
+	Split    *Memory     `json:"split,omitempty"`
+	Children []*treeJSON `json:"children,omitempty"`
+}
+
+func toJSON(n *node) *treeJSON {
+	if n.leaf {
+		w := n.whisker
+		return &treeJSON{Leaf: true, Whisker: &w}
+	}
+	s := n.split
+	out := &treeJSON{Leaf: false, Split: &s}
+	for _, c := range n.children {
+		out.Children = append(out.Children, toJSON(c))
+	}
+	return out
+}
+
+func fromJSON(j *treeJSON) (*node, error) {
+	if j == nil {
+		return nil, fmt.Errorf("core: nil tree node")
+	}
+	if j.Leaf {
+		if j.Whisker == nil {
+			return nil, fmt.Errorf("core: leaf node without whisker")
+		}
+		return &node{leaf: true, whisker: *j.Whisker}, nil
+	}
+	if len(j.Children) != 8 || j.Split == nil {
+		return nil, fmt.Errorf("core: internal node must have a split point and 8 children, got %d", len(j.Children))
+	}
+	n := &node{leaf: false, split: *j.Split, children: make([]*node, len(j.Children))}
+	for i, cj := range j.Children {
+		c, err := fromJSON(cj)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = c
+	}
+	return n, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *WhiskerTree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSON(t.root))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *WhiskerTree) UnmarshalJSON(data []byte) error {
+	var j treeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	root, err := fromJSON(&j)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	t.reindex()
+	return nil
+}
+
+// SaveFile writes the tree as indented JSON to path.
+func (t *WhiskerTree) SaveFile(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a tree previously written by SaveFile.
+func LoadFile(path string) (*WhiskerTree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &WhiskerTree{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// String summarizes the tree.
+func (t *WhiskerTree) String() string {
+	return fmt.Sprintf("WhiskerTree{%d rules}", t.NumWhiskers())
+}

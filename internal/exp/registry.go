@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible table or figure from the paper.
+type Experiment struct {
+	// ID is the short identifier used by cmd/experiments ("fig4", "table1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run executes the experiment at the given fidelity.
+	Run func(cfg RunConfig) (Report, error)
+}
+
+// Experiments returns the full registry, in the order the paper presents
+// them (Figure 3 first, then the evaluation section's tables and figures).
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig3", Title: "Flow-length CDF vs Pareto fit", Run: Figure3},
+		{ID: "table1", Title: "Dumbbell speedup summary (§1)", Run: Table1},
+		{ID: "table2", Title: "Cellular speedup summary (§1)", Run: Table2},
+		{ID: "fig4", Title: "Dumbbell n=8 throughput-delay", Run: Figure4},
+		{ID: "fig5", Title: "Dumbbell n=12 ICSI throughput-delay", Run: Figure5},
+		{ID: "fig6", Title: "Sequence plot with departing cross traffic", Run: func(cfg RunConfig) (Report, error) {
+			rep, _, err := Figure6(cfg)
+			return rep, err
+		}},
+		{ID: "fig7", Title: "Verizon-like LTE n=4", Run: Figure7},
+		{ID: "fig8", Title: "Verizon-like LTE n=8", Run: Figure8},
+		{ID: "fig9", Title: "AT&T-like LTE n=4", Run: Figure9},
+		{ID: "fig10", Title: "RTT fairness", Run: Figure10},
+		{ID: "table3", Title: "Datacenter: DCTCP vs RemyCC (§5.5)", Run: Table3},
+		{ID: "table4", Title: "Competing protocols (§5.6)", Run: Table4},
+		{ID: "fig11", Title: "Prior-knowledge sensitivity (§5.7)", Run: Figure11},
+	}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, ids)
+}

@@ -1,0 +1,309 @@
+// Package harness assembles complete simulation runs from the lower-level
+// pieces: it wires congestion-control transports, workload switchers and the
+// dumbbell network together, runs the simulation, and reports per-flow
+// metrics. Both the Remy optimizer (which scores candidate rule tables on
+// specimen networks) and the experiment harness (which regenerates the
+// paper's tables and figures) are built on it.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/aqm"
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// QueueKind selects the bottleneck queue discipline for a scenario.
+type QueueKind int
+
+const (
+	// QueueDropTail is a plain tail-drop FIFO (the paper's default).
+	QueueDropTail QueueKind = iota
+	// QueueSfqCoDel is stochastic fair queueing with per-queue CoDel.
+	QueueSfqCoDel
+	// QueueXCP is the XCP router (tail-drop FIFO plus explicit feedback).
+	QueueXCP
+	// QueueECN is tail drop with DCTCP-style instantaneous ECN marking.
+	QueueECN
+)
+
+func (k QueueKind) String() string {
+	switch k {
+	case QueueDropTail:
+		return "droptail"
+	case QueueSfqCoDel:
+		return "sfqcodel"
+	case QueueXCP:
+		return "xcp"
+	case QueueECN:
+		return "ecn"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+// FlowSpec describes one sender-receiver pair in a scenario.
+type FlowSpec struct {
+	// RTTMs is the flow's two-way propagation delay in milliseconds
+	// (excluding transmission and queueing).
+	RTTMs float64
+	// Workload is the on/off offered-load process.
+	Workload workload.Spec
+	// NewAlgorithm constructs the congestion-control algorithm for this
+	// flow. It is invoked once per Run, so closures may capture per-run
+	// state (the optimizer attaches usage recorders this way).
+	NewAlgorithm func() cc.Algorithm
+}
+
+// Scenario is a complete simulation configuration.
+type Scenario struct {
+	// LinkRateBps is the bottleneck rate; ignored when Trace is set.
+	LinkRateBps float64
+	// Trace makes the bottleneck trace-driven (cellular experiments).
+	Trace     []sim.Time
+	TraceLoop bool
+	// XCPCapacityBps overrides the capacity advertised to the XCP router;
+	// needed for trace-driven links where the paper supplies the long-term
+	// average rate. Defaults to LinkRateBps.
+	XCPCapacityBps float64
+
+	Queue         QueueKind
+	QueueCapacity int
+	// ECNThresholdPackets is the marking threshold for QueueECN.
+	ECNThresholdPackets int
+
+	MTU      int
+	Duration sim.Time
+	Flows    []FlowSpec
+
+	// OnDeliver, if set, observes every packet delivered to a receiver
+	// (sequence plots such as Figure 6).
+	OnDeliver func(p *netsim.Packet, now sim.Time)
+}
+
+// Validate reports configuration errors.
+func (s Scenario) Validate() error {
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("harness: scenario has no flows")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("harness: scenario duration must be positive")
+	}
+	if len(s.Trace) == 0 && s.LinkRateBps <= 0 {
+		return fmt.Errorf("harness: need a link rate or a trace")
+	}
+	for i, f := range s.Flows {
+		if f.RTTMs < 0 {
+			return fmt.Errorf("harness: flow %d has negative RTT", i)
+		}
+		if f.NewAlgorithm == nil {
+			return fmt.Errorf("harness: flow %d has no algorithm", i)
+		}
+		if err := f.Workload.Validate(); err != nil {
+			return fmt.Errorf("harness: flow %d workload: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FlowResult reports one flow's outcome from one run.
+type FlowResult struct {
+	// Metrics are the paper's evaluation metrics (§5.1).
+	Metrics stats.FlowMetrics
+	// Transport is the raw transport counter snapshot.
+	Transport cc.Stats
+	// Algorithm is the scheme name the flow ran.
+	Algorithm string
+	// OnPeriods is the number of completed or started on periods.
+	OnPeriods int
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Flows []FlowResult
+	// Offered, Delivered and Dropped count packets at the bottleneck.
+	Offered, Delivered, Dropped int64
+}
+
+// Run executes the scenario once with the given seed and returns per-flow
+// results. Runs with equal scenarios and seeds produce identical results.
+func Run(s Scenario, seed int64) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	engine := sim.NewEngine()
+	rootRNG := sim.NewRNG(seed)
+
+	capacity := s.QueueCapacity
+	if capacity <= 0 {
+		capacity = 1000
+	}
+	mtu := s.MTU
+	if mtu <= 0 {
+		mtu = netsim.MTU
+	}
+
+	// Build the bottleneck queue.
+	var queue netsim.Queue
+	var xcpQueue *aqm.XCPQueue
+	switch s.Queue {
+	case QueueDropTail:
+		q, err := aqm.NewDropTail(capacity)
+		if err != nil {
+			return Result{}, err
+		}
+		queue = q
+	case QueueSfqCoDel:
+		q, err := aqm.NewSfqCoDel(1024, capacity)
+		if err != nil {
+			return Result{}, err
+		}
+		queue = q
+	case QueueECN:
+		threshold := s.ECNThresholdPackets
+		if threshold <= 0 {
+			threshold = 65
+		}
+		q, err := aqm.NewECNMarking(capacity, threshold)
+		if err != nil {
+			return Result{}, err
+		}
+		queue = q
+	case QueueXCP:
+		capBps := s.XCPCapacityBps
+		if capBps <= 0 {
+			capBps = s.LinkRateBps
+		}
+		if capBps <= 0 {
+			return Result{}, fmt.Errorf("harness: XCP queue needs a capacity estimate")
+		}
+		q, err := aqm.NewXCPQueue(engine, capacity, capBps)
+		if err != nil {
+			return Result{}, err
+		}
+		queue = q
+		xcpQueue = q
+	default:
+		return Result{}, fmt.Errorf("harness: unknown queue kind %v", s.Queue)
+	}
+
+	network, err := netsim.NewNetwork(engine, netsim.Config{
+		LinkRateBps: s.LinkRateBps,
+		Trace:       s.Trace,
+		TraceLoop:   s.TraceLoop,
+		Queue:       queue,
+		MTU:         mtu,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	network.OnDeliver = s.OnDeliver
+
+	type flowState struct {
+		transport *cc.Transport
+		switcher  *workload.Switcher
+		algoName  string
+		onTime    sim.Time
+		lastOn    sim.Time
+		onPeriods int
+	}
+	flows := make([]*flowState, len(s.Flows))
+
+	for i, spec := range s.Flows {
+		fs := &flowState{}
+		flows[i] = fs
+
+		var transport *cc.Transport
+		port, err := network.AttachFlow(netsim.SenderFunc(func(a netsim.Ack, now sim.Time) {
+			transport.OnAck(a, now)
+		}), sim.FromMillis(spec.RTTMs/2))
+		if err != nil {
+			return Result{}, err
+		}
+
+		algo := spec.NewAlgorithm()
+		if algo == nil {
+			return Result{}, fmt.Errorf("harness: flow %d NewAlgorithm returned nil", i)
+		}
+		transport, err = cc.NewTransport(engine, port, algo, mtu)
+		if err != nil {
+			return Result{}, err
+		}
+		fs.transport = transport
+		fs.algoName = algo.Name()
+
+		switcher, err := workload.NewSwitcher(spec.Workload, engine, rootRNG.Split(int64(i)+1))
+		if err != nil {
+			return Result{}, err
+		}
+		fs.switcher = switcher
+
+		switcher.OnStart = func(now sim.Time, bytes int64) {
+			fs.lastOn = now
+			fs.onPeriods++
+			transport.StartFlow(now)
+		}
+		switcher.OnStop = func(now sim.Time) {
+			fs.onTime += now - fs.lastOn
+			transport.StopFlow(now)
+		}
+		transport.OnBytesAcked = func(now sim.Time, bytes int64) {
+			switcher.BytesDelivered(now, bytes)
+		}
+	}
+
+	// Arm everything and run.
+	network.Start(0)
+	if xcpQueue != nil {
+		xcpQueue.Start(0)
+	}
+	for _, fs := range flows {
+		fs.switcher.Start(0)
+	}
+	engine.Run(s.Duration)
+
+	// Collect metrics.
+	res := Result{
+		Offered:   network.PacketsOffered(),
+		Delivered: network.Link().Delivered(),
+		Dropped:   network.PacketsDropped(),
+	}
+	for i, fs := range flows {
+		onTime := fs.onTime
+		if fs.switcher.State() == workload.On {
+			onTime += s.Duration - fs.lastOn
+		}
+		st := fs.transport.Stats()
+		minRTT := network.MinRTT(i)
+		meanRTT := st.MeanRTT()
+
+		var throughput float64
+		if onTime > 0 {
+			throughput = float64(st.BytesAcked) * 8 / onTime.Seconds()
+		}
+		queueing := (meanRTT - minRTT).Seconds()
+		if queueing < 0 {
+			queueing = 0
+		}
+		res.Flows = append(res.Flows, FlowResult{
+			Metrics: stats.FlowMetrics{
+				ThroughputBps: throughput,
+				AvgRTT:        meanRTT.Seconds(),
+				MinRTT:        minRTT.Seconds(),
+				QueueingDelay: queueing,
+				BytesAcked:    st.BytesAcked,
+				OnDuration:    onTime.Seconds(),
+				PacketsSent:   st.PacketsSent,
+				PacketsLost:   st.LossEvents,
+			},
+			Transport: st,
+			Algorithm: fs.algoName,
+			OnPeriods: fs.onPeriods,
+		})
+	}
+	return res, nil
+}

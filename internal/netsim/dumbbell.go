@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the single-bottleneck network of Figure 2.
+type Config struct {
+	// LinkRateBps is the bottleneck rate in bits per second. Ignored when
+	// Trace is non-empty.
+	LinkRateBps float64
+	// Trace, when non-empty, makes the bottleneck trace-driven: it lists the
+	// times at which one MTU-sized packet may be delivered.
+	Trace []sim.Time
+	// TraceLoop repeats the trace when it runs out.
+	TraceLoop bool
+	// Queue is the bottleneck queue discipline (from internal/aqm).
+	Queue Queue
+	// MTU is the segment size in bytes; DefaultMTU if zero.
+	MTU int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Queue == nil {
+		return fmt.Errorf("netsim: Config.Queue is nil")
+	}
+	if len(c.Trace) == 0 && c.LinkRateBps <= 0 {
+		return fmt.Errorf("netsim: need a positive LinkRateBps or a Trace")
+	}
+	return nil
+}
+
+// Network is an instantiated dumbbell: any number of flows share one
+// bottleneck queue and link; each flow has its own one-way propagation
+// delay, receiver, and ACK return path.
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	link   *Link
+	queue  Queue
+	mtu    int
+
+	flows []*Port
+
+	// OnDeliver, if set, is invoked for every packet delivered to a
+	// receiver (used by the Figure 6 sequence-plot experiment).
+	OnDeliver func(p *Packet, now sim.Time)
+
+	packetsOffered int64
+	packetsDropped int64
+}
+
+// Port is one flow's attachment point to the network. The sender transmits
+// by calling Send; the network delivers acknowledgments to the attached
+// Sender after the flow's return propagation delay.
+type Port struct {
+	net      *Network
+	flow     int
+	sender   Sender
+	receiver *Receiver
+	// oneWay is the propagation delay in each direction, so the flow's
+	// minimum RTT is 2*oneWay plus the bottleneck transmission time.
+	oneWay sim.Time
+
+	packetsSent int64
+	bytesSent   int64
+}
+
+// NewNetwork builds an empty dumbbell network on the engine.
+func NewNetwork(engine *sim.Engine, cfg Config) (*Network, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("netsim: nil engine")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mtu := cfg.MTU
+	if mtu <= 0 {
+		mtu = MTU
+	}
+	n := &Network{engine: engine, cfg: cfg, queue: cfg.Queue, mtu: mtu}
+	deliver := func(p *Packet, now sim.Time) { n.deliverToReceiver(p, now) }
+	var link *Link
+	var err error
+	if len(cfg.Trace) > 0 {
+		link, err = NewTraceLink(engine, cfg.Queue, cfg.Trace, cfg.TraceLoop, deliver)
+	} else {
+		link, err = NewFixedRateLink(engine, cfg.Queue, cfg.LinkRateBps, deliver)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.link = link
+	return n, nil
+}
+
+// Start arms the bottleneck link (needed for trace-driven links).
+func (n *Network) Start(now sim.Time) { n.link.Start(now) }
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Link exposes the bottleneck link for statistics.
+func (n *Network) Link() *Link { return n.link }
+
+// Queue exposes the bottleneck queue for statistics.
+func (n *Network) Queue() Queue { return n.queue }
+
+// MTU returns the segment size in bytes.
+func (n *Network) MTU() int { return n.mtu }
+
+// PacketsOffered returns the number of packets senders have offered to the
+// bottleneck queue.
+func (n *Network) PacketsOffered() int64 { return n.packetsOffered }
+
+// PacketsDropped returns the number of packets dropped at the bottleneck on
+// arrival.
+func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
+
+// AttachFlow adds a flow with the given sender and one-way propagation
+// delay, returning its Port. Flows are numbered in attachment order.
+func (n *Network) AttachFlow(sender Sender, oneWay sim.Time) (*Port, error) {
+	if sender == nil {
+		return nil, fmt.Errorf("netsim: AttachFlow with nil sender")
+	}
+	if oneWay < 0 {
+		return nil, fmt.Errorf("netsim: negative propagation delay")
+	}
+	flow := len(n.flows)
+	p := &Port{net: n, flow: flow, sender: sender, receiver: NewReceiver(flow), oneWay: oneWay}
+	n.flows = append(n.flows, p)
+	return p, nil
+}
+
+// Flows returns the number of attached flows.
+func (n *Network) Flows() int { return len(n.flows) }
+
+// PortFor returns the port of flow i (nil if out of range); tests and the
+// experiment harness use it to read per-flow counters.
+func (n *Network) PortFor(i int) *Port {
+	if i < 0 || i >= len(n.flows) {
+		return nil
+	}
+	return n.flows[i]
+}
+
+// MinRTT returns a flow's minimum achievable round-trip time: two
+// propagation delays plus one bottleneck transmission time (zero
+// transmission time for trace-driven links, whose delivery schedule already
+// embodies service time).
+func (n *Network) MinRTT(flow int) sim.Time {
+	p := n.PortFor(flow)
+	if p == nil {
+		return 0
+	}
+	var xmit sim.Time
+	if n.link.rateBps > 0 {
+		xmit = sim.FromSeconds(float64(n.mtu) * 8 / n.link.rateBps)
+	}
+	return 2*p.oneWay + xmit
+}
+
+func (n *Network) deliverToReceiver(p *Packet, now sim.Time) {
+	port := n.PortFor(p.Flow)
+	if port == nil {
+		return
+	}
+	// Forward propagation from the bottleneck to the receiver.
+	n.engine.Schedule(now+port.oneWay, func(t sim.Time) {
+		ack := port.receiver.Receive(p, t)
+		if n.OnDeliver != nil {
+			n.OnDeliver(p, t)
+		}
+		// Return propagation of the acknowledgment (reverse path is
+		// uncongested, as in the paper's setup).
+		n.engine.Schedule(t+port.oneWay, func(t2 sim.Time) {
+			port.sender.OnAck(ack, t2)
+		})
+	})
+}
+
+// Send transmits a packet from this flow's sender into the bottleneck
+// queue. The packet's Flow field is overwritten with the port's flow id.
+// It returns false if the bottleneck dropped the packet on arrival.
+func (p *Port) Send(pkt *Packet, now sim.Time) bool {
+	if pkt.Size <= 0 {
+		pkt.Size = p.net.mtu
+	}
+	pkt.Flow = p.flow
+	pkt.EnqueuedAt = now
+	p.packetsSent++
+	p.bytesSent += int64(pkt.Size)
+	p.net.packetsOffered++
+	ok := p.net.queue.Enqueue(pkt, now)
+	if !ok {
+		p.net.packetsDropped++
+		return false
+	}
+	p.net.link.Offer(now)
+	return true
+}
+
+// Flow returns the port's flow id.
+func (p *Port) Flow() int { return p.flow }
+
+// OneWayDelay returns the flow's one-way propagation delay.
+func (p *Port) OneWayDelay() sim.Time { return p.oneWay }
+
+// Receiver returns the flow's receiver (for statistics and resets).
+func (p *Port) Receiver() *Receiver { return p.receiver }
+
+// PacketsSent returns the number of packets this flow has offered.
+func (p *Port) PacketsSent() int64 { return p.packetsSent }
+
+// BytesSent returns the number of bytes this flow has offered.
+func (p *Port) BytesSent() int64 { return p.bytesSent }

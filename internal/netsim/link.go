@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Link models the bottleneck: it drains a Queue and hands packets to a
+// delivery callback. Two service models are supported, matching the paper's
+// two topologies:
+//
+//   - Fixed-rate: the link transmits back-to-back packets at RateBps
+//     (the dumbbell and datacenter experiments).
+//   - Trace-driven: the link delivers at most one MTU-sized packet at each
+//     delivery opportunity of a cellular trace (the Verizon/AT&T LTE
+//     experiments); opportunities with an empty queue are wasted, exactly as
+//     in the paper's "packets are released at the same instants seen in the
+//     trace" setup.
+type Link struct {
+	engine *sim.Engine
+	queue  Queue
+
+	// fixed-rate service
+	rateBps float64
+	busy    bool
+
+	// trace-driven service
+	trace     []sim.Time // delivery opportunity times, strictly increasing
+	traceLoop bool
+	traceIdx  int
+	traceOff  sim.Time // offset added when the trace wraps around
+
+	deliver func(p *Packet, now sim.Time)
+
+	delivered      int64
+	deliveredBytes int64
+	busyTime       sim.Time
+	lastStart      sim.Time
+}
+
+// NewFixedRateLink builds a link serving queue at rateBps bits per second.
+// Delivered packets are passed to deliver.
+func NewFixedRateLink(engine *sim.Engine, queue Queue, rateBps float64, deliver func(*Packet, sim.Time)) (*Link, error) {
+	if engine == nil || queue == nil || deliver == nil {
+		return nil, fmt.Errorf("netsim: NewFixedRateLink requires engine, queue and deliver")
+	}
+	if rateBps <= 0 {
+		return nil, fmt.Errorf("netsim: link rate must be positive, got %g", rateBps)
+	}
+	return &Link{engine: engine, queue: queue, rateBps: rateBps, deliver: deliver}, nil
+}
+
+// NewTraceLink builds a trace-driven link: at each opportunity time in trace
+// the link delivers one queued packet (if any). If loop is true the trace
+// repeats indefinitely, shifted by its final timestamp.
+func NewTraceLink(engine *sim.Engine, queue Queue, trace []sim.Time, loop bool, deliver func(*Packet, sim.Time)) (*Link, error) {
+	if engine == nil || queue == nil || deliver == nil {
+		return nil, fmt.Errorf("netsim: NewTraceLink requires engine, queue and deliver")
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("netsim: empty delivery trace")
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i] < trace[i-1] {
+			return nil, fmt.Errorf("netsim: delivery trace not sorted at index %d", i)
+		}
+	}
+	l := &Link{engine: engine, queue: queue, trace: trace, traceLoop: loop, deliver: deliver}
+	return l, nil
+}
+
+// Start arms the link. Fixed-rate links are demand-driven and need no
+// arming, but trace-driven links must schedule their first delivery
+// opportunity. Start is idempotent for fixed-rate links.
+func (l *Link) Start(now sim.Time) {
+	if l.trace != nil {
+		l.scheduleNextOpportunity(now)
+	}
+}
+
+// Transmission time of a packet on a fixed-rate link.
+func (l *Link) serviceTime(p *Packet) sim.Time {
+	seconds := float64(p.Size) * 8 / l.rateBps
+	st := sim.FromSeconds(seconds)
+	if st < 1 {
+		st = 1 // quantize to at least one microsecond
+	}
+	return st
+}
+
+// RateBps returns the configured rate for fixed-rate links (0 for
+// trace-driven links).
+func (l *Link) RateBps() float64 { return l.rateBps }
+
+// Delivered returns the number of packets the link has delivered.
+func (l *Link) Delivered() int64 { return l.delivered }
+
+// DeliveredBytes returns the number of bytes the link has delivered.
+func (l *Link) DeliveredBytes() int64 { return l.deliveredBytes }
+
+// Utilization returns the fraction of time the fixed-rate link spent
+// transmitting, measured up to horizon.
+func (l *Link) Utilization(horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(l.busyTime) / float64(horizon)
+}
+
+// Offer notifies the link that a packet was enqueued. Fixed-rate links start
+// serving if idle; trace-driven links ignore it (their schedule is fixed).
+func (l *Link) Offer(now sim.Time) {
+	if l.trace != nil || l.busy {
+		return
+	}
+	l.serveNext(now)
+}
+
+func (l *Link) serveNext(now sim.Time) {
+	p := l.queue.Dequeue(now)
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.lastStart = now
+	st := l.serviceTime(p)
+	l.engine.Schedule(now+st, func(t sim.Time) {
+		l.busyTime += st
+		l.delivered++
+		l.deliveredBytes += int64(p.Size)
+		l.deliver(p, t)
+		l.serveNext(t)
+	})
+}
+
+func (l *Link) scheduleNextOpportunity(now sim.Time) {
+	for {
+		if l.traceIdx >= len(l.trace) {
+			if !l.traceLoop {
+				return
+			}
+			// Wrap: shift subsequent opportunities by the final timestamp so
+			// the inter-opportunity gaps repeat.
+			l.traceOff += l.trace[len(l.trace)-1]
+			l.traceIdx = 0
+		}
+		at := l.trace[l.traceIdx] + l.traceOff
+		l.traceIdx++
+		if at < now {
+			continue // skip opportunities already in the past
+		}
+		l.engine.Schedule(at, func(t sim.Time) {
+			if p := l.queue.Dequeue(t); p != nil {
+				l.delivered++
+				l.deliveredBytes += int64(p.Size)
+				l.deliver(p, t)
+			}
+			l.scheduleNextOpportunity(t)
+		})
+		return
+	}
+}

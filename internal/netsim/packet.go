@@ -1,0 +1,126 @@
+// Package netsim models the network substrate the paper evaluates on: data
+// packets and acknowledgments, the bottleneck link (fixed-rate or
+// trace-driven), per-flow receivers, and the single-bottleneck "dumbbell"
+// network of Figure 2 that every experiment uses.
+//
+// The substrate deliberately mirrors the structure of the paper's ns-2
+// setup: senders feed a shared bottleneck queue; the queue is served by a
+// link whose rate is either constant or given by a cellular trace; delivered
+// packets incur a per-flow propagation delay to the receiver; the receiver
+// acknowledges every packet; and acknowledgments return to the sender over
+// an uncongested reverse path with the same propagation delay.
+package netsim
+
+import (
+	"repro/internal/sim"
+)
+
+// MTU is the default packet size in bytes (data payload plus headers), the
+// same segment size used throughout the paper's simulations.
+const MTU = 1500
+
+// XCPHeader is the congestion header carried by packets when the sender and
+// routers speak XCP (§2, Katabi et al.). The sender fills Cwnd, RTT and the
+// requested Demand; routers overwrite Feedback with the per-packet window
+// adjustment (in bytes) they allocate.
+type XCPHeader struct {
+	// CwndBytes is the sender's current congestion window in bytes.
+	CwndBytes float64
+	// RTT is the sender's current smoothed round-trip time.
+	RTT sim.Time
+	// Feedback is the per-packet window adjustment in bytes allocated by the
+	// bottleneck router (positive or negative).
+	Feedback float64
+}
+
+// Packet is one data segment traveling from a sender to its receiver.
+type Packet struct {
+	// Flow identifies the sender–receiver pair.
+	Flow int
+	// Seq is the packet's sequence number in packets (0-based).
+	Seq int64
+	// Size is the packet size in bytes.
+	Size int
+	// SentAt is the sender's timestamp when the packet was (re)transmitted;
+	// it is echoed in the acknowledgment so the sender can compute the RTT
+	// and the send_ewma congestion signal.
+	SentAt sim.Time
+	// FirstSentAt is the timestamp of the packet's first transmission (used
+	// only for bookkeeping of retransmissions).
+	FirstSentAt sim.Time
+	// Retransmit marks retransmitted packets.
+	Retransmit bool
+	// ECNCapable marks packets from ECN-capable senders (DCTCP); only such
+	// packets are marked rather than dropped by ECN queues.
+	ECNCapable bool
+	// ECNMarked is set by a queue that signals congestion via ECN.
+	ECNMarked bool
+	// XCP, when non-nil, is the XCP congestion header.
+	XCP *XCPHeader
+	// EnqueuedAt records when the packet entered the bottleneck queue; queue
+	// disciplines use it to measure sojourn time (CoDel) and tests use it to
+	// verify delay accounting.
+	EnqueuedAt sim.Time
+}
+
+// Ack acknowledges one data packet. The receiver acknowledges every packet
+// individually (per-packet ACK clocking, as the paper assumes) and also
+// reports the cumulative ack so senders can run standard loss recovery.
+type Ack struct {
+	// Flow identifies the sender–receiver pair.
+	Flow int
+	// Seq is the sequence number of the data packet being acknowledged.
+	Seq int64
+	// CumAck is the lowest sequence number the receiver has NOT yet
+	// received; all packets below CumAck have arrived.
+	CumAck int64
+	// SentAt echoes the data packet's sender timestamp.
+	SentAt sim.Time
+	// ReceivedAt is the receiver's clock when the data packet arrived.
+	ReceivedAt sim.Time
+	// ECNEcho is set when the acknowledged packet carried an ECN mark.
+	ECNEcho bool
+	// XCPFeedback carries the router-allocated feedback (bytes) when the
+	// data packet had an XCP header.
+	XCPFeedback float64
+	// HasXCP reports whether XCPFeedback is meaningful.
+	HasXCP bool
+}
+
+// Queue is a bottleneck queue discipline. Implementations live in
+// internal/aqm (DropTail, CoDel, sfqCoDel, ECN marking, XCP router).
+//
+// Contract: Enqueue returns false if the packet was dropped on arrival.
+// Dequeue returns the next packet to transmit, or nil only when the queue is
+// empty; disciplines that drop at dequeue time (CoDel) must keep dequeuing
+// internally until they find a packet to return or the queue drains.
+type Queue interface {
+	// Enqueue offers a packet to the queue at the given time. It returns
+	// false if the packet was dropped.
+	Enqueue(p *Packet, now sim.Time) bool
+	// Dequeue removes and returns the next packet to transmit, or nil if the
+	// queue is empty.
+	Dequeue(now sim.Time) *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+	// Drops returns the cumulative number of packets dropped by the queue.
+	Drops() int64
+}
+
+// Sender consumes acknowledgments. The congestion-control transports in
+// internal/cc implement it; the network delivers each Ack to the owning
+// sender after the reverse-path propagation delay.
+type Sender interface {
+	// OnAck delivers an acknowledgment at simulated time now.
+	OnAck(ack Ack, now sim.Time)
+}
+
+// SenderFunc adapts a plain function to the Sender interface, which is
+// convenient when the real sender must be constructed after the Port (the
+// two reference each other).
+type SenderFunc func(ack Ack, now sim.Time)
+
+// OnAck implements Sender.
+func (f SenderFunc) OnAck(ack Ack, now sim.Time) { f(ack, now) }

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"repro/internal/sim"
+)
+
+// Receiver is the per-flow receiving endpoint. It acknowledges every data
+// packet immediately (the periodic ACK feedback the paper assumes) and
+// tracks the cumulative acknowledgment so senders can run ordinary TCP loss
+// recovery. The receiver requires no congestion-control changes, matching
+// the paper's "no receiver changes are necessary".
+type Receiver struct {
+	flow   int
+	cumAck int64
+	// received holds out-of-order sequence numbers above cumAck.
+	received map[int64]bool
+
+	packetsReceived int64
+	bytesReceived   int64
+}
+
+// NewReceiver creates a receiver for the given flow id.
+func NewReceiver(flow int) *Receiver {
+	return &Receiver{flow: flow, received: make(map[int64]bool)}
+}
+
+// Flow returns the receiver's flow id.
+func (r *Receiver) Flow() int { return r.flow }
+
+// CumAck returns the lowest sequence number not yet received.
+func (r *Receiver) CumAck() int64 { return r.cumAck }
+
+// PacketsReceived returns the number of data packets delivered to this
+// receiver (including retransmissions and duplicates).
+func (r *Receiver) PacketsReceived() int64 { return r.packetsReceived }
+
+// BytesReceived returns the number of bytes delivered to this receiver.
+func (r *Receiver) BytesReceived() int64 { return r.bytesReceived }
+
+// Receive processes a delivered data packet and returns the acknowledgment
+// to send back.
+func (r *Receiver) Receive(p *Packet, now sim.Time) Ack {
+	r.packetsReceived++
+	r.bytesReceived += int64(p.Size)
+	if p.Seq >= r.cumAck && !r.received[p.Seq] {
+		r.received[p.Seq] = true
+		// Advance the cumulative ack over any now-contiguous prefix.
+		for r.received[r.cumAck] {
+			delete(r.received, r.cumAck)
+			r.cumAck++
+		}
+	}
+	ack := Ack{
+		Flow:       p.Flow,
+		Seq:        p.Seq,
+		CumAck:     r.cumAck,
+		SentAt:     p.SentAt,
+		ReceivedAt: now,
+		ECNEcho:    p.ECNMarked,
+	}
+	if p.XCP != nil {
+		ack.HasXCP = true
+		ack.XCPFeedback = p.XCP.Feedback
+	}
+	return ack
+}
+
+// Reset clears receiver state for a new connection (new "on" period). The
+// paper's RemyCCs and TCP alike start each connection from scratch.
+func (r *Receiver) Reset() {
+	r.cumAck = 0
+	r.received = make(map[int64]bool)
+}

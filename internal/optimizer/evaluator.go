@@ -1,0 +1,301 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// maxMemorySamplesPerWhisker caps how many memory points are retained per
+// rule for the median-split step, bounding memory use during long searches.
+const maxMemorySamplesPerWhisker = 4096
+
+// Evaluation is the outcome of simulating one candidate RemyCC on a set of
+// specimen networks.
+type Evaluation struct {
+	// Score is the mean per-flow objective value over all specimens (higher
+	// is better) — the "overall figure of merit" of §4.3.
+	Score float64
+	// UseCounts[i] is the number of times rule i was looked up.
+	UseCounts []int64
+	// MemorySamples[i] holds (a capped subset of) the memory points that
+	// triggered rule i, used to find the median split point.
+	MemorySamples [][]core.Memory
+	// FlowsScored is the number of (specimen, flow) pairs that contributed.
+	FlowsScored int
+}
+
+// MostUsed returns the index of the most-used rule among those whose epoch
+// (per the supplied tree) equals epoch, or -1 if no such rule was used.
+func (e Evaluation) MostUsed(tree *core.WhiskerTree, epoch int) int {
+	best := -1
+	var bestCount int64
+	for i, w := range tree.Whiskers() {
+		if w.Epoch != epoch || i >= len(e.UseCounts) {
+			continue
+		}
+		if e.UseCounts[i] > bestCount {
+			bestCount = e.UseCounts[i]
+			best = i
+		}
+	}
+	return best
+}
+
+// MostUsedAny returns the index of the most-used rule regardless of epoch,
+// or -1 if no rule was used at all.
+func (e Evaluation) MostUsedAny() int {
+	best := -1
+	var bestCount int64
+	for i, c := range e.UseCounts {
+		if c > bestCount {
+			bestCount = c
+			best = i
+		}
+	}
+	return best
+}
+
+// MedianMemory returns the per-axis median of the memory samples recorded
+// for rule idx, or false if there are none.
+func (e Evaluation) MedianMemory(idx int) (core.Memory, bool) {
+	if idx < 0 || idx >= len(e.MemorySamples) || len(e.MemorySamples[idx]) == 0 {
+		return core.Memory{}, false
+	}
+	samples := e.MemorySamples[idx]
+	axis := func(i int) float64 {
+		vals := make([]float64, len(samples))
+		for j, m := range samples {
+			vals[j] = m.Axis(i)
+		}
+		sort.Float64s(vals)
+		return vals[len(vals)/2]
+	}
+	return core.Memory{AckEWMA: axis(0), SendEWMA: axis(1), RTTRatio: axis(2)}, true
+}
+
+// usageCollector implements core.UsageRecorder for one specimen simulation.
+type usageCollector struct {
+	counts  []int64
+	samples [][]core.Memory
+}
+
+func newUsageCollector(n int) *usageCollector {
+	return &usageCollector{counts: make([]int64, n), samples: make([][]core.Memory, n)}
+}
+
+// RecordUse implements core.UsageRecorder.
+func (u *usageCollector) RecordUse(idx int, m core.Memory) {
+	if idx < 0 || idx >= len(u.counts) {
+		return
+	}
+	u.counts[idx]++
+	if len(u.samples[idx]) < maxMemorySamplesPerWhisker {
+		u.samples[idx] = append(u.samples[idx], m)
+	}
+}
+
+// Evaluator scores candidate rule tables on specimen networks.
+type Evaluator struct {
+	// Objective is the per-flow utility function (Equation 1).
+	Objective stats.Objective
+	// Workers bounds the number of concurrent specimen simulations; zero
+	// means one fewer than the number of CPUs.
+	Workers int
+}
+
+// NewEvaluator returns an evaluator for the given objective.
+func NewEvaluator(obj stats.Objective) *Evaluator {
+	return &Evaluator{Objective: obj, Workers: defaultWorkers()}
+}
+
+// scenarioFor builds the harness scenario simulating the tree on one
+// specimen. Every sender runs the same candidate RemyCC (the superrational
+// setting of §4); when rec is non-nil it observes every rule lookup.
+func scenarioFor(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.UsageRecorder) harness.Scenario {
+	flows := make([]harness.FlowSpec, spec.Senders)
+	for i := range flows {
+		flows[i] = harness.FlowSpec{
+			RTTMs:    spec.RTTMs,
+			Workload: cfg.workloadSpec(),
+			NewAlgorithm: func() cc.Algorithm {
+				s := core.NewSender(tree)
+				s.Recorder = rec
+				return s
+			},
+		}
+	}
+	return harness.Scenario{
+		LinkRateBps:   spec.LinkRateBps,
+		Queue:         harness.QueueDropTail,
+		QueueCapacity: cfg.QueueCapacityPackets,
+		Duration:      cfg.SpecimenDuration,
+		Flows:         flows,
+	}
+}
+
+// specimenScore runs one specimen and returns the summed per-flow utilities
+// and the number of flows that contributed.
+func (e *Evaluator) specimenScore(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.UsageRecorder) (float64, int, error) {
+	res, err := harness.Run(scenarioFor(tree, spec, cfg, rec), spec.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	fairShare := spec.LinkRateBps / float64(spec.Senders)
+	var sum float64
+	flows := 0
+	for _, f := range res.Flows {
+		if f.Metrics.OnDuration <= 0 {
+			continue
+		}
+		flows++
+		sum += e.flowUtility(f.Metrics, fairShare)
+	}
+	return sum, flows, nil
+}
+
+// flowUtility evaluates Equation 1 for one flow, normalizing throughput by
+// the fair share of the bottleneck and delay by the flow's minimum RTT so
+// scores are comparable across specimens with different scales.
+func (e *Evaluator) flowUtility(m stats.FlowMetrics, fairShareBps float64) float64 {
+	const epsilon = 1e-6
+	tput := m.ThroughputBps / fairShareBps
+	if tput < epsilon {
+		tput = epsilon
+	}
+	delay := 1.0
+	if m.MinRTT > 0 {
+		delay = m.AvgRTT / m.MinRTT
+		if delay < 1 {
+			delay = 1
+		}
+	}
+	u := e.Objective.Score(tput, delay)
+	if math.IsInf(u, -1) || math.IsNaN(u) {
+		u = -1e9
+	}
+	return u
+}
+
+// Evaluate simulates the tree on every specimen (in parallel) and returns
+// the aggregate score together with per-rule usage statistics.
+func (e *Evaluator) Evaluate(tree *core.WhiskerTree, specimens []Specimen, cfg ConfigRange) (Evaluation, error) {
+	if len(specimens) == 0 {
+		return Evaluation{}, fmt.Errorf("optimizer: no specimens to evaluate")
+	}
+	n := tree.NumWhiskers()
+	eval := Evaluation{
+		UseCounts:     make([]int64, n),
+		MemorySamples: make([][]core.Memory, n),
+	}
+	type result struct {
+		sum   float64
+		flows int
+		usage *usageCollector
+		err   error
+	}
+	results := make([]result, len(specimens))
+	workers := e.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specimens {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, spec Specimen) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			usage := newUsageCollector(n)
+			sum, flows, err := e.specimenScore(tree, spec, cfg, usage)
+			results[i] = result{sum: sum, flows: flows, usage: usage, err: err}
+		}(i, spec)
+	}
+	wg.Wait()
+
+	var total float64
+	for _, r := range results {
+		if r.err != nil {
+			return Evaluation{}, r.err
+		}
+		total += r.sum
+		eval.FlowsScored += r.flows
+		for idx, c := range r.usage.counts {
+			eval.UseCounts[idx] += c
+			if len(eval.MemorySamples[idx]) < maxMemorySamplesPerWhisker {
+				eval.MemorySamples[idx] = append(eval.MemorySamples[idx], r.usage.samples[idx]...)
+			}
+		}
+	}
+	if eval.FlowsScored > 0 {
+		eval.Score = total / float64(eval.FlowsScored)
+	} else {
+		eval.Score = math.Inf(-1)
+	}
+	return eval, nil
+}
+
+// ScoreMany evaluates several candidate trees on the same specimen set (the
+// same networks and seeds, as the paper prescribes for comparing candidate
+// actions) and returns one score per tree. All (tree, specimen) simulations
+// share the worker pool.
+func (e *Evaluator) ScoreMany(trees []*core.WhiskerTree, specimens []Specimen, cfg ConfigRange) ([]float64, error) {
+	if len(trees) == 0 {
+		return nil, nil
+	}
+	if len(specimens) == 0 {
+		return nil, fmt.Errorf("optimizer: no specimens to evaluate")
+	}
+	sums := make([]float64, len(trees))
+	flows := make([]int, len(trees))
+	errs := make([]error, len(trees)*len(specimens))
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for ti, tree := range trees {
+		for si, spec := range specimens {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ti, si int, tree *core.WhiskerTree, spec Specimen) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sum, nf, err := e.specimenScore(tree, spec, cfg, nil)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs[ti*len(specimens)+si] = err
+					return
+				}
+				sums[ti] += sum
+				flows[ti] += nf
+			}(ti, si, tree, spec)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(trees))
+	for i := range trees {
+		if flows[i] > 0 {
+			out[i] = sums[i] / float64(flows[i])
+		} else {
+			out[i] = math.Inf(-1)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,247 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Default search knobs.
+const (
+	// DefaultEpochsPerSplit is K in §4.3 step 4: every K epochs the
+	// most-used rule is subdivided.
+	DefaultEpochsPerSplit = 4
+	// DefaultCandidateRungs controls the geometric ladder of candidate
+	// action modifications evaluated per improvement step (2 rungs per
+	// direction per component ≈ the paper's "roughly 100 candidates").
+	DefaultCandidateRungs = 2
+	// DefaultImprovementIters bounds how many times a single rule's action
+	// is re-improved before moving on.
+	DefaultImprovementIters = 5
+)
+
+// Progress records one optimization round for logging and the EXPERIMENTS.md
+// training record.
+type Progress struct {
+	Round     int
+	Epoch     int
+	Rules     int
+	Score     float64
+	Improved  int // actions improved this round
+	DidSplit  bool
+	Evaluated int // candidate trees evaluated this round
+}
+
+func (p Progress) String() string {
+	return fmt.Sprintf("round=%d epoch=%d rules=%d score=%.4f improved=%d evaluated=%d split=%v",
+		p.Round, p.Epoch, p.Rules, p.Score, p.Improved, p.Evaluated, p.DidSplit)
+}
+
+// Remy is the offline designer. Construct it with New, adjust the public
+// knobs if desired, then call Optimize.
+type Remy struct {
+	Config    ConfigRange
+	Objective stats.Objective
+
+	// Workers bounds concurrent specimen simulations (0 = NumCPU-1).
+	Workers int
+	// Seed makes the whole design run reproducible.
+	Seed int64
+	// CandidateRungs, ImprovementIters and EpochsPerSplit tune the search.
+	CandidateRungs   int
+	ImprovementIters int
+	EpochsPerSplit   int
+	// MaxRules stops subdividing once the table reaches this many rules
+	// (0 = unlimited). The paper's general-purpose RemyCCs have 162–204.
+	MaxRules int
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+
+	epoch int
+}
+
+// New returns a designer with the paper's default knobs.
+func New(cfg ConfigRange, obj stats.Objective) *Remy {
+	return &Remy{
+		Config:           cfg,
+		Objective:        obj,
+		Workers:          defaultWorkers(),
+		Seed:             1,
+		CandidateRungs:   DefaultCandidateRungs,
+		ImprovementIters: DefaultImprovementIters,
+		EpochsPerSplit:   DefaultEpochsPerSplit,
+	}
+}
+
+func (r *Remy) logf(format string, args ...interface{}) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Optimize runs the design loop for the given number of rounds, starting
+// from start (or the initial single-rule RemyCC when start is nil), and
+// returns the best tree found together with the per-round progress log.
+//
+// One round is one pass of the paper's procedure: mark all rules with the
+// current epoch, repeatedly improve the most-used unimproved rule until none
+// remain, then advance the epoch and — every EpochsPerSplit epochs —
+// subdivide the most-used rule at the median memory value that triggered it.
+func (r *Remy) Optimize(start *core.WhiskerTree, rounds int) (*core.WhiskerTree, []Progress, error) {
+	if err := r.Config.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if rounds < 1 {
+		return nil, nil, fmt.Errorf("optimizer: rounds must be positive, got %d", rounds)
+	}
+	tree := start
+	if tree == nil {
+		tree = core.DefaultWhiskerTree()
+	}
+	tree = tree.Clone()
+
+	eval := NewEvaluator(r.Objective)
+	eval.Workers = r.Workers
+	rng := sim.NewRNG(r.Seed)
+
+	var progress []Progress
+	for round := 0; round < rounds; round++ {
+		specimens := r.Config.SampleSet(r.Config.Specimens, rng.Split(int64(round)))
+		p, err := r.optimizeRound(tree, eval, specimens, round)
+		if err != nil {
+			return nil, nil, err
+		}
+		progress = append(progress, p)
+		r.logf("%s", p)
+	}
+	return tree, progress, nil
+}
+
+// optimizeRound mutates tree in place through one round of the procedure.
+func (r *Remy) optimizeRound(tree *core.WhiskerTree, eval *Evaluator, specimens []Specimen, round int) (Progress, error) {
+	prog := Progress{Round: round, Epoch: r.epoch}
+
+	// Step 1: set all rules to the current epoch.
+	tree.SetAllEpochs(r.epoch)
+
+	// Steps 2–3: repeatedly pick the most-used rule of this epoch and
+	// improve its action until no candidate improves the score, then retire
+	// it from this epoch.
+	for {
+		evaluation, err := eval.Evaluate(tree, specimens, r.Config)
+		if err != nil {
+			return prog, err
+		}
+		prog.Evaluated++
+		idx := evaluation.MostUsed(tree, r.epoch)
+		if idx < 0 {
+			prog.Score = evaluation.Score
+			break
+		}
+		improved, evaluated, err := r.improveAction(tree, eval, specimens, idx, evaluation.Score)
+		if err != nil {
+			return prog, err
+		}
+		prog.Evaluated += evaluated
+		if improved {
+			prog.Improved++
+		}
+		if err := tree.SetEpoch(idx, r.epoch+1); err != nil {
+			return prog, err
+		}
+	}
+
+	// Step 4: advance the global epoch; every K epochs, subdivide.
+	r.epoch++
+	if r.epoch%r.epochsPerSplit() == 0 && (r.MaxRules <= 0 || tree.NumWhiskers() < r.MaxRules) {
+		evaluation, err := eval.Evaluate(tree, specimens, r.Config)
+		if err != nil {
+			return prog, err
+		}
+		prog.Evaluated++
+		idx := evaluation.MostUsedAny()
+		if idx >= 0 {
+			median, ok := evaluation.MedianMemory(idx)
+			if !ok {
+				w, _ := tree.Whisker(idx)
+				median = w.Domain.Midpoint()
+			}
+			if err := tree.Split(idx, median); err != nil {
+				return prog, err
+			}
+			prog.DidSplit = true
+		}
+	}
+	prog.Rules = tree.NumWhiskers()
+	prog.Epoch = r.epoch
+	return prog, nil
+}
+
+// improveAction performs §4.3 step 3 for one rule: evaluate a ladder of
+// candidate modifications to the rule's action on the same specimen
+// networks, adopt the best improvement, and repeat until nothing improves.
+// It returns whether any improvement was adopted and how many candidate
+// trees were evaluated.
+func (r *Remy) improveAction(tree *core.WhiskerTree, eval *Evaluator, specimens []Specimen, idx int, baseline float64) (bool, int, error) {
+	improvedAny := false
+	evaluated := 0
+	bestScore := baseline
+
+	iters := r.ImprovementIters
+	if iters <= 0 {
+		iters = DefaultImprovementIters
+	}
+	rungs := r.CandidateRungs
+	if rungs <= 0 {
+		rungs = DefaultCandidateRungs
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		w, err := tree.Whisker(idx)
+		if err != nil {
+			return improvedAny, evaluated, err
+		}
+		candidates := w.Action.Neighbors(rungs)
+		if len(candidates) == 0 {
+			break
+		}
+		trees := make([]*core.WhiskerTree, len(candidates))
+		for i, cand := range candidates {
+			t := tree.Clone()
+			if err := t.SetAction(idx, cand); err != nil {
+				return improvedAny, evaluated, err
+			}
+			trees[i] = t
+		}
+		scores, err := eval.ScoreMany(trees, specimens, r.Config)
+		if err != nil {
+			return improvedAny, evaluated, err
+		}
+		evaluated += len(trees)
+
+		bestCand := -1
+		for i, s := range scores {
+			if s > bestScore {
+				bestScore = s
+				bestCand = i
+			}
+		}
+		if bestCand < 0 {
+			break
+		}
+		if err := tree.SetAction(idx, candidates[bestCand]); err != nil {
+			return improvedAny, evaluated, err
+		}
+		improvedAny = true
+	}
+	return improvedAny, evaluated, nil
+}
+
+func (r *Remy) epochsPerSplit() int {
+	if r.EpochsPerSplit <= 0 {
+		return DefaultEpochsPerSplit
+	}
+	return r.EpochsPerSplit
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events compare by time, then by insertion
+// sequence, so simultaneous events execute in the order they were scheduled
+// — another ingredient of exact reproducibility.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func(now Time)
+	// canceled events stay in the heap but are skipped when popped; this is
+	// cheaper than removing them eagerly and keeps Cancel O(1).
+	canceled bool
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct {
+	ev *event
+}
+
+// Valid reports whether the id refers to a scheduled (possibly already
+// executed) event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine: a clock plus an ordered
+// queue of future callbacks. It is not safe for concurrent use; parallelism
+// in this repository is achieved by running many independent engines (one
+// per network specimen), never by sharing one.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+	// executed counts events run, which tests and benchmarks use to verify
+	// workload sizes.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the number of events that have run.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule registers fn to run at the absolute simulated time at. Scheduling
+// in the past (before Now) is a programming error and panics, because it
+// would silently corrupt causality in a simulation.
+func (e *Engine) Schedule(at Time, fn func(now Time)) EventID {
+	if fn == nil {
+		panic("sim: Schedule called with nil callback")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule in the past: at=%v now=%v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// ScheduleAfter registers fn to run after the given delay from now.
+func (e *Engine) ScheduleAfter(delay Time, fn func(now Time)) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel prevents a previously scheduled event from running. Canceling an
+// event that already ran, or an invalid id, is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue is empty or the clock
+// would pass the `until` horizon. The clock is left at min(until, time of
+// last executed event); events scheduled after `until` remain queued.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn(e.now)
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn(e.now)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphaFairness(t *testing.T) {
+	// alpha = 0: total throughput, U(x) = x.
+	if got := AlphaFairness(5, 0); math.Abs(got-5) > 1e-12 {
+		t.Errorf("U_0(5) = %v, want 5", got)
+	}
+	// alpha = 1: log.
+	if got := AlphaFairness(math.E, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("U_1(e) = %v, want 1", got)
+	}
+	// alpha = 2: -1/x (minimum potential delay).
+	if got := AlphaFairness(4, 2); math.Abs(got-(-0.25)) > 1e-12 {
+		t.Errorf("U_2(4) = %v, want -0.25", got)
+	}
+	// Non-positive throughput is -Inf.
+	if !math.IsInf(AlphaFairness(0, 1), -1) || !math.IsInf(AlphaFairness(-1, 2), -1) {
+		t.Error("non-positive x should give -Inf")
+	}
+}
+
+// Property: U_alpha is monotonically increasing and concave for alpha > 0.
+func TestAlphaFairnessMonotoneConcave(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1, 2, 3} {
+		prev := math.Inf(-1)
+		prevDiff := math.Inf(1)
+		for x := 1.0; x < 100; x += 1.0 {
+			u := AlphaFairness(x, alpha)
+			if u <= prev {
+				t.Fatalf("U_%g not increasing at x=%g", alpha, x)
+			}
+			diff := u - prev
+			if x > 1 && alpha > 0 && diff > prevDiff+1e-12 {
+				t.Fatalf("U_%g not concave at x=%g", alpha, x)
+			}
+			prev, prevDiff = u, diff
+		}
+	}
+}
+
+func TestObjective(t *testing.T) {
+	o := DefaultObjective(1)
+	if o.Alpha != 1 || o.Beta != 1 || o.Delta != 1 {
+		t.Error("DefaultObjective fields")
+	}
+	// log(tput) - delta*log(delay)
+	got := o.Score(8, 2)
+	want := math.Log(8) - math.Log(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+
+	mpd := MinPotentialDelayObjective()
+	if mpd.Alpha != 2 || mpd.Delta != 0 {
+		t.Error("MinPotentialDelayObjective fields")
+	}
+	if got := mpd.Score(4, 100); math.Abs(got-(-0.25)) > 1e-12 {
+		t.Errorf("min-potential-delay score = %v (delay must be ignored when delta=0)", got)
+	}
+	if o.String() == "" || mpd.String() == "" {
+		t.Error("Objective.String")
+	}
+
+	// Higher throughput is always better; higher delay always worse (delta>0).
+	if o.Score(10, 2) <= o.Score(5, 2) {
+		t.Error("objective should prefer higher throughput")
+	}
+	if o.Score(10, 4) >= o.Score(10, 2) {
+		t.Error("objective should penalize higher delay")
+	}
+}
+
+func TestFlowMetricsHelpers(t *testing.T) {
+	m := FlowMetrics{ThroughputBps: 2e6, QueueingDelay: 0.015, PacketsSent: 100, PacketsLost: 5}
+	if m.Mbps() != 2 {
+		t.Error("Mbps")
+	}
+	if math.Abs(m.QueueingDelayMs()-15) > 1e-9 {
+		t.Error("QueueingDelayMs")
+	}
+	if math.Abs(m.LossRate()-0.05) > 1e-12 {
+		t.Error("LossRate")
+	}
+	if (FlowMetrics{}).LossRate() != 0 {
+		t.Error("LossRate with no packets should be 0")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs")
+	}
+	if se := StandardError(xs); math.Abs(se-2/math.Sqrt(8)) > 1e-12 {
+		t.Errorf("StandardError = %v", se)
+	}
+	if StandardError(nil) != 0 {
+		t.Error("StandardError(nil)")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("extreme quantiles")
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil)")
+	}
+	// Even-length median interpolates.
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	// Quantile must not mutate its input.
+	orig := []float64{9, 1, 5}
+	Quantile(orig, 0.5)
+	if orig[0] != 9 || orig[1] != 1 || orig[2] != 5 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+// Property: the median lies within [min, max] and quantiles are monotone in q.
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Restrict to physically plausible magnitudes; interpolation
+			// between order statistics overflows near ±MaxFloat64.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e150 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := Quantile(xs, q)
+			if v < sorted[0]-1e-9 || v > sorted[len(sorted)-1]+1e-9 {
+				return false
+			}
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Mean != 5.5 || s.Median != 5.5 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.P10 >= s.Median || s.Median >= s.P90 {
+		t.Errorf("percentiles out of order: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("Summarize(nil)")
+	}
+}
+
+func TestFitEllipse(t *testing.T) {
+	if e := FitEllipse(nil, 1); e.CenterDelay != 0 || e.SemiAxisA != 0 {
+		t.Error("empty ellipse")
+	}
+	one := FitEllipse([]Point{{DelayMs: 3, ThroughputMbps: 4}}, 1)
+	if one.CenterDelay != 3 || one.CenterThroughput != 4 || one.SemiAxisA != 0 {
+		t.Error("single-point ellipse should degenerate to the point")
+	}
+
+	// Axis-aligned cloud: variance 4 along delay, 1 along throughput.
+	var pts []Point
+	for i := -10; i <= 10; i++ {
+		pts = append(pts, Point{DelayMs: float64(2 * i), ThroughputMbps: float64(i % 3)})
+	}
+	e := FitEllipse(pts, 1)
+	if e.SemiAxisA < e.SemiAxisB {
+		t.Error("major axis smaller than minor axis")
+	}
+	if e.SemiAxisA <= 0 {
+		t.Error("zero major axis for a spread cloud")
+	}
+
+	// Scaling sigma scales the axes linearly.
+	e2 := FitEllipse(pts, 2)
+	if math.Abs(e2.SemiAxisA-2*e.SemiAxisA) > 1e-9 || math.Abs(e2.SemiAxisB-2*e.SemiAxisB) > 1e-9 {
+		t.Error("sigma scaling")
+	}
+
+	// A perfectly correlated cloud has a degenerate minor axis and a 45° major axis.
+	var diag []Point
+	for i := 0; i < 20; i++ {
+		diag = append(diag, Point{DelayMs: float64(i), ThroughputMbps: float64(i)})
+	}
+	ed := FitEllipse(diag, 1)
+	if ed.SemiAxisB > 1e-6 {
+		t.Errorf("minor axis of a line should be ~0, got %v", ed.SemiAxisB)
+	}
+	if math.Abs(ed.AngleRad-math.Pi/4) > 1e-6 {
+		t.Errorf("angle = %v, want pi/4", ed.AngleRad)
+	}
+
+	// Vertical cloud (all delay identical): angle should be pi/2.
+	var vert []Point
+	for i := 0; i < 10; i++ {
+		vert = append(vert, Point{DelayMs: 5, ThroughputMbps: float64(i)})
+	}
+	ev := FitEllipse(vert, 1)
+	if math.Abs(ev.AngleRad-math.Pi/2) > 1e-9 {
+		t.Errorf("vertical cloud angle = %v", ev.AngleRad)
+	}
+}
+
+func TestMedianPoint(t *testing.T) {
+	if p := MedianPoint(nil); p.DelayMs != 0 || p.ThroughputMbps != 0 {
+		t.Error("MedianPoint(nil)")
+	}
+	pts := []Point{
+		{DelayMs: 1, ThroughputMbps: 10},
+		{DelayMs: 3, ThroughputMbps: 30},
+		{DelayMs: 2, ThroughputMbps: 20},
+	}
+	p := MedianPoint(pts)
+	if p.DelayMs != 2 || p.ThroughputMbps != 20 {
+		t.Errorf("MedianPoint = %+v", p)
+	}
+}

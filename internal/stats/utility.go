@@ -1,0 +1,109 @@
+// Package stats implements the paper's evaluation metrics: alpha-fairness
+// utility functions (§3.3, Equation 1), per-flow throughput/delay
+// accounting, summary statistics (means, medians, quantiles), and the
+// maximum-likelihood 2-D Gaussian ellipses used in the throughput–delay
+// plots (§5.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// AlphaFairness evaluates the alpha-fair utility U_alpha(x) from §3.3:
+//
+//	U_alpha(x) = x^(1-alpha) / (1-alpha)     for alpha != 1
+//	U_1(x)     = log(x)
+//
+// x must be positive; non-positive x returns -Inf, which the objective
+// function treats as "this allocation starved a flow".
+func AlphaFairness(x, alpha float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	if alpha == 1 {
+		return math.Log(x)
+	}
+	return math.Pow(x, 1-alpha) / (1 - alpha)
+}
+
+// Objective is the protocol-design objective of Equation 1: for a flow with
+// average throughput x and average round-trip delay y, the score is
+//
+//	U_alpha(x) - delta * U_beta(y).
+//
+// Alpha and Beta select the fairness–efficiency tradeoff for throughput and
+// delay respectively; Delta weighs delay against throughput. The two
+// configurations explored in the paper are {Alpha:1, Beta:1, Delta:δ}
+// (proportional fairness in throughput and delay) and {Alpha:2, Delta:0}
+// (minimum potential delay of fixed-length transfers).
+type Objective struct {
+	Alpha float64
+	Beta  float64
+	Delta float64
+}
+
+// DefaultObjective returns the α=β=1 objective with the supplied δ, the
+// configuration used for the general-purpose RemyCCs in §5.
+func DefaultObjective(delta float64) Objective {
+	return Objective{Alpha: 1, Beta: 1, Delta: delta}
+}
+
+// MinPotentialDelayObjective returns the α=2, δ=0 objective used for the
+// datacenter RemyCC in §5.5 (maximizing −1/throughput).
+func MinPotentialDelayObjective() Objective {
+	return Objective{Alpha: 2, Beta: 1, Delta: 0}
+}
+
+// Score evaluates the objective for one flow. throughput is in any
+// consistent unit (the evaluator uses bytes/s normalized by link rate);
+// delay is the flow's average round-trip delay (the evaluator uses a ratio
+// to the minimum RTT so scores are comparable across specimen networks).
+func (o Objective) Score(throughput, delay float64) float64 {
+	score := AlphaFairness(throughput, o.Alpha)
+	if o.Delta != 0 {
+		score -= o.Delta * AlphaFairness(delay, o.Beta)
+	}
+	return score
+}
+
+func (o Objective) String() string {
+	return fmt.Sprintf("alpha=%g beta=%g delta=%g", o.Alpha, o.Beta, o.Delta)
+}
+
+// FlowMetrics is the outcome of one flow (one sender–receiver pair) in one
+// simulation run, using the paper's definitions from §5.1: throughput is
+// Σ bytes received during on periods divided by Σ on time, and QueueingDelay
+// is the average per-packet delay in excess of the minimum RTT.
+type FlowMetrics struct {
+	// ThroughputBps is the flow's average throughput in bits per second.
+	ThroughputBps float64
+	// AvgRTT is the flow's mean round-trip time in seconds.
+	AvgRTT float64
+	// MinRTT is the minimum possible round-trip time (propagation +
+	// transmission) in seconds.
+	MinRTT float64
+	// QueueingDelay is AvgRTT − MinRTT in seconds (clamped at 0).
+	QueueingDelay float64
+	// BytesAcked is the number of bytes acknowledged during on periods.
+	BytesAcked int64
+	// OnDuration is the total time the flow spent "on", in seconds.
+	OnDuration float64
+	// PacketsSent and PacketsLost count transmissions and detected losses.
+	PacketsSent int64
+	PacketsLost int64
+}
+
+// LossRate returns the fraction of transmitted packets that were lost.
+func (m FlowMetrics) LossRate() float64 {
+	if m.PacketsSent == 0 {
+		return 0
+	}
+	return float64(m.PacketsLost) / float64(m.PacketsSent)
+}
+
+// Mbps returns the throughput in megabits per second.
+func (m FlowMetrics) Mbps() float64 { return m.ThroughputBps / 1e6 }
+
+// QueueingDelayMs returns the queueing delay in milliseconds.
+func (m FlowMetrics) QueueingDelayMs() float64 { return m.QueueingDelay * 1e3 }

@@ -1,0 +1,169 @@
+// Package workload models the offered load given to endpoints: the
+// distributions flow sizes and idle periods are drawn from, and the on/off
+// switching process each sender follows (paper §3.2 and §5.1).
+//
+// Three "on" models from the paper are supported:
+//
+//   - ByTime: the source stays on for an exponentially distributed duration
+//     and sends as fast as congestion control allows (videoconference-like).
+//   - ByBytes: the source sends an exponentially distributed number of bytes
+//     and then turns off.
+//   - Empirical: flow lengths are drawn from the ICSI trace's flow-length
+//     distribution, which the paper fits with a Pareto(xm=147, alpha=0.5)
+//     shifted by +40 bytes; the evaluation additionally adds 16 kilobytes to
+//     every sampled value to keep the network loaded (paper §5.1).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Distribution draws positive float64 samples (bytes, seconds, ...) from a
+// parametric or empirical law using the supplied random stream.
+type Distribution interface {
+	// Sample draws one value.
+	Sample(rng *sim.RNG) float64
+	// Mean returns the distribution's mean, or +Inf if it is not finite.
+	Mean() float64
+	// String describes the distribution for logs and reports.
+	String() string
+}
+
+// Constant is a degenerate distribution that always returns Value.
+type Constant struct{ Value float64 }
+
+// Sample implements Distribution.
+func (c Constant) Sample(*sim.RNG) float64 { return c.Value }
+
+// Mean implements Distribution.
+func (c Constant) Mean() float64 { return c.Value }
+
+func (c Constant) String() string { return fmt.Sprintf("constant(%g)", c.Value) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *sim.RNG) float64 { return rng.Uniform(u.Lo, u.Hi) }
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Exponential is the exponential distribution with the given mean.
+type Exponential struct{ MeanValue float64 }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *sim.RNG) float64 { return rng.Exponential(e.MeanValue) }
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return e.MeanValue }
+
+func (e Exponential) String() string { return fmt.Sprintf("exponential(mean=%g)", e.MeanValue) }
+
+// Pareto is a (shifted) Pareto distribution: samples are
+// Shift + Pareto(Xm, Alpha). For Alpha <= 1 the mean is infinite.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+	Shift float64
+}
+
+// Sample implements Distribution.
+func (p Pareto) Sample(rng *sim.RNG) float64 { return p.Shift + rng.Pareto(p.Xm, p.Alpha) }
+
+// Mean implements Distribution.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Shift + p.Alpha*p.Xm/(p.Alpha-1)
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("pareto(xm=%g,alpha=%g,shift=%g)", p.Xm, p.Alpha, p.Shift)
+}
+
+// CDF evaluates the cumulative distribution function at x.
+func (p Pareto) CDF(x float64) float64 {
+	x -= p.Shift
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// ICSIFlowLengths returns the flow-length distribution used throughout the
+// paper's evaluation: the Pareto fit to the ICSI trace (Figure 3), shifted
+// by +40 bytes, with an additional extraBytes added to every sample (the
+// paper adds 16 kB in §5.1 so the network stays loaded).
+func ICSIFlowLengths(extraBytes float64) Distribution {
+	return Pareto{Xm: 147, Alpha: 0.5, Shift: 40 + extraBytes}
+}
+
+// Empirical is a distribution defined by an observed sample set; Sample
+// performs inverse-transform sampling with linear interpolation between the
+// sorted observations. It models the paper's "empirical distribution of flow
+// sizes" option when real measurements are available.
+type Empirical struct {
+	sorted []float64
+	mean   float64
+}
+
+// NewEmpirical builds an empirical distribution from observations. It
+// panics if no observations are provided, because sampling from an empty
+// population is meaningless.
+func NewEmpirical(observations []float64) *Empirical {
+	if len(observations) == 0 {
+		panic("workload: NewEmpirical with no observations")
+	}
+	s := make([]float64, len(observations))
+	copy(s, observations)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return &Empirical{sorted: s, mean: sum / float64(len(s))}
+}
+
+// Sample implements Distribution.
+func (e *Empirical) Sample(rng *sim.RNG) float64 {
+	n := len(e.sorted)
+	if n == 1 {
+		return e.sorted[0]
+	}
+	u := rng.Float64() * float64(n-1)
+	i := int(u)
+	frac := u - float64(i)
+	if i >= n-1 {
+		return e.sorted[n-1]
+	}
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// Mean implements Distribution.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+func (e *Empirical) String() string {
+	return fmt.Sprintf("empirical(n=%d, mean=%g)", len(e.sorted), e.mean)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the observations.
+func (e *Empirical) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	pos := q * float64(len(e.sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}

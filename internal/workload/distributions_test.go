@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{Value: 7}
+	g := sim.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if c.Sample(g) != 7 {
+			t.Fatal("constant distribution not constant")
+		}
+	}
+	if c.Mean() != 7 {
+		t.Error("constant mean")
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	u := Uniform{Lo: 10, Hi: 20}
+	g := sim.NewRNG(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := u.Sample(g)
+		if v < 10 || v >= 20 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-15) > 0.1 {
+		t.Errorf("uniform sample mean %v, want ~15", mean)
+	}
+	if u.Mean() != 15 {
+		t.Errorf("Mean() = %v", u.Mean())
+	}
+}
+
+func TestExponentialDistribution(t *testing.T) {
+	e := Exponential{MeanValue: 0.5}
+	g := sim.NewRNG(3)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(g)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("exponential sample mean %v, want ~0.5", mean)
+	}
+	if e.Mean() != 0.5 {
+		t.Error("Mean()")
+	}
+}
+
+func TestParetoDistribution(t *testing.T) {
+	p := Pareto{Xm: 147, Alpha: 0.5, Shift: 40}
+	g := sim.NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(g)
+		if v < 187 {
+			t.Fatalf("pareto sample %v below xm+shift", v)
+		}
+	}
+	if !math.IsInf(p.Mean(), 1) {
+		t.Error("Pareto with alpha<=1 should have infinite mean")
+	}
+	p2 := Pareto{Xm: 100, Alpha: 2}
+	if math.Abs(p2.Mean()-200) > 1e-9 {
+		t.Errorf("Pareto(100,2) mean = %v, want 200", p2.Mean())
+	}
+	// CDF sanity: below scale it's 0, increases monotonically, approaches 1.
+	if p.CDF(100) != 0 {
+		t.Error("CDF below scale should be 0")
+	}
+	if c1, c2 := p.CDF(1000), p.CDF(100000); c1 >= c2 {
+		t.Errorf("CDF not increasing: %v >= %v", c1, c2)
+	}
+	if p.CDF(1e12) < 0.99 {
+		t.Error("CDF should approach 1")
+	}
+}
+
+func TestParetoSampleMatchesCDF(t *testing.T) {
+	// Kolmogorov–Smirnov style check: empirical CDF of samples should be
+	// close to the analytic CDF (this is the Figure 3 validation in
+	// miniature).
+	p := Pareto{Xm: 147, Alpha: 0.5, Shift: 40}
+	g := sim.NewRNG(5)
+	const n = 50000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = p.Sample(g)
+	}
+	for _, x := range []float64{200, 500, 1000, 5000, 1e4, 1e5, 1e6} {
+		count := 0
+		for _, s := range samples {
+			if s <= x {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		if diff := math.Abs(emp - p.CDF(x)); diff > 0.02 {
+			t.Errorf("at x=%g empirical CDF %v vs analytic %v (diff %v)", x, emp, p.CDF(x), diff)
+		}
+	}
+}
+
+func TestICSIFlowLengths(t *testing.T) {
+	d := ICSIFlowLengths(16384)
+	g := sim.NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(g)
+		if v < 16384+40+147 {
+			t.Fatalf("ICSI flow length %v below minimum", v)
+		}
+	}
+	if !math.IsInf(d.Mean(), 1) {
+		t.Error("ICSI flow lengths should have infinite mean (alpha=0.5)")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	obs := []float64{1, 2, 3, 4, 5}
+	e := NewEmpirical(obs)
+	if e.Mean() != 3 {
+		t.Errorf("empirical mean = %v", e.Mean())
+	}
+	g := sim.NewRNG(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := e.Sample(g)
+		if v < 1 || v > 5 {
+			t.Fatalf("empirical sample %v outside observed range", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Errorf("empirical sample mean %v, want ~3", mean)
+	}
+	if q := e.Quantile(0.5); math.Abs(q-3) > 1e-9 {
+		t.Errorf("median = %v", q)
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 5 {
+		t.Error("extreme quantiles")
+	}
+	if e.Quantile(-1) != 1 || e.Quantile(2) != 5 {
+		t.Error("out-of-range quantiles should clamp")
+	}
+
+	single := NewEmpirical([]float64{42})
+	if single.Sample(g) != 42 {
+		t.Error("single-observation empirical")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEmpirical(nil) should panic")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+// Property: every distribution's samples are >= its lower support bound.
+func TestDistributionSupportProperty(t *testing.T) {
+	f := func(seed int64, lo, width uint16) bool {
+		g := sim.NewRNG(seed)
+		l := float64(lo)
+		u := Uniform{Lo: l, Hi: l + float64(width) + 1}
+		p := Pareto{Xm: l + 1, Alpha: 1.5}
+		e := Exponential{MeanValue: l + 1}
+		for i := 0; i < 50; i++ {
+			if u.Sample(g) < l {
+				return false
+			}
+			if p.Sample(g) < l+1 {
+				return false
+			}
+			if e.Sample(g) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	ds := []Distribution{
+		Constant{1}, Uniform{1, 2}, Exponential{3}, Pareto{1, 2, 0}, NewEmpirical([]float64{1, 2}),
+	}
+	for _, d := range ds {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}

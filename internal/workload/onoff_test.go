@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err == nil {
+		t.Error("empty spec should not validate")
+	}
+	if err := (Spec{On: Constant{1}}).Validate(); err == nil {
+		t.Error("spec without Off should not validate")
+	}
+	s := DumbbellDefault()
+	if err := s.Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+	if s.Mode != ByTime {
+		t.Error("DumbbellDefault should be ByTime")
+	}
+	if s.String() == "" || ByBytes.String() != "bytes" || ByTime.String() != "time" {
+		t.Error("String methods")
+	}
+	if OnMode(99).String() == "" {
+		t.Error("unknown mode String")
+	}
+	if Off.String() != "off" || On.String() != "on" {
+		t.Error("State.String")
+	}
+}
+
+func TestNewSwitcherErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	if _, err := NewSwitcher(Spec{}, eng, rng); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	ok := Spec{Mode: ByTime, On: Constant{1}, Off: Constant{1}}
+	if _, err := NewSwitcher(ok, nil, rng); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewSwitcher(ok, eng, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSwitcherByTime(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(2)
+	spec := Spec{Mode: ByTime, On: Constant{1}, Off: Constant{2}} // 1s on, 2s off
+	sw, err := NewSwitcher(spec, eng, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, stops []sim.Time
+	sw.OnStart = func(now sim.Time, bytes int64) {
+		if bytes != 0 {
+			t.Errorf("ByTime switcher passed byte budget %d", bytes)
+		}
+		starts = append(starts, now)
+	}
+	sw.OnStop = func(now sim.Time) { stops = append(stops, now) }
+	sw.Start(0)
+	if sw.State() != Off {
+		t.Error("switcher should start off")
+	}
+	eng.Run(10 * sim.Second)
+	// Cycle: off 2s, on 1s → starts at 2,5,8; stops at 3,6,9.
+	wantStarts := []sim.Time{2 * sim.Second, 5 * sim.Second, 8 * sim.Second}
+	wantStops := []sim.Time{3 * sim.Second, 6 * sim.Second, 9 * sim.Second}
+	if len(starts) != len(wantStarts) || len(stops) != len(wantStops) {
+		t.Fatalf("starts=%v stops=%v", starts, stops)
+	}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] || stops[i] != wantStops[i] {
+			t.Fatalf("starts=%v stops=%v", starts, stops)
+		}
+	}
+	if sw.Transitions() != 6 {
+		t.Errorf("transitions = %d, want 6", sw.Transitions())
+	}
+}
+
+func TestSwitcherByBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(3)
+	spec := Spec{Mode: ByBytes, On: Constant{3000}, Off: Constant{1}}
+	sw, err := NewSwitcher(spec, eng, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budgets []int64
+	var stops int
+	sw.OnStart = func(now sim.Time, bytes int64) { budgets = append(budgets, bytes) }
+	sw.OnStop = func(now sim.Time) { stops++ }
+	sw.Start(0)
+	eng.Run(1500 * sim.Millisecond) // first on period begins at t=1s
+	if len(budgets) != 1 || budgets[0] != 3000 {
+		t.Fatalf("budgets = %v", budgets)
+	}
+	if sw.State() != On {
+		t.Fatal("switcher should be on")
+	}
+	// Deliver bytes in pieces; period should end exactly when budget reached.
+	sw.BytesDelivered(1600*sim.Millisecond, 1000)
+	if sw.State() != On || stops != 0 {
+		t.Fatal("turned off too early")
+	}
+	sw.BytesDelivered(1700*sim.Millisecond, 2000)
+	if sw.State() != Off || stops != 1 {
+		t.Fatal("did not turn off when budget exhausted")
+	}
+	// Delivering more bytes while off is a no-op.
+	sw.BytesDelivered(1800*sim.Millisecond, 500)
+	if stops != 1 {
+		t.Error("BytesDelivered while off should be ignored")
+	}
+}
+
+func TestSwitcherStartOn(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(4)
+	spec := Spec{Mode: ByBytes, On: Constant{100}, Off: Constant{5}, StartOn: true}
+	sw, _ := NewSwitcher(spec, eng, rng)
+	started := sim.Time(-1)
+	sw.OnStart = func(now sim.Time, bytes int64) { started = now }
+	sw.Start(0)
+	if started != 0 || sw.State() != On {
+		t.Fatalf("StartOn switcher did not start on at t=0 (started=%v)", started)
+	}
+}
+
+func TestSwitcherForceOff(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(5)
+	spec := Spec{Mode: ByBytes, On: Constant{1e9}, Off: Constant{1}, StartOn: true}
+	sw, _ := NewSwitcher(spec, eng, rng)
+	stops := 0
+	sw.OnStop = func(sim.Time) { stops++ }
+	sw.Start(0)
+	sw.ForceOff(1 * sim.Second)
+	if sw.State() != Off || stops != 1 {
+		t.Error("ForceOff did not stop the on period")
+	}
+	sw.ForceOff(2 * sim.Second) // idempotent
+	if stops != 1 {
+		t.Error("ForceOff while off should be a no-op")
+	}
+}
+
+func TestSwitcherExponentialDutyCycle(t *testing.T) {
+	// With exponential on/off means of 5s each, the long-run duty cycle is
+	// ~50%: check it statistically over many cycles.
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(6)
+	spec := DumbbellDefault()
+	sw, _ := NewSwitcher(spec, eng, rng)
+	var onTime sim.Time
+	var lastOn sim.Time
+	sw.OnStart = func(now sim.Time, _ int64) { lastOn = now }
+	sw.OnStop = func(now sim.Time) { onTime += now - lastOn }
+	sw.Start(0)
+	total := 2000 * sim.Second
+	eng.Run(total)
+	if sw.State() == On {
+		onTime += total - lastOn
+	}
+	duty := float64(onTime) / float64(total)
+	if math.Abs(duty-0.5) > 0.08 {
+		t.Errorf("duty cycle = %v, want ~0.5", duty)
+	}
+	if sw.Transitions() < 100 {
+		t.Errorf("too few transitions: %d", sw.Transitions())
+	}
+}
+
+func TestSwitcherByBytesMinimumOne(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	spec := Spec{Mode: ByBytes, On: Constant{0}, Off: Constant{0.001}, StartOn: true}
+	sw, _ := NewSwitcher(spec, eng, rng)
+	var budget int64 = -1
+	sw.OnStart = func(_ sim.Time, bytes int64) { budget = bytes }
+	sw.Start(0)
+	if budget != 1 {
+		t.Errorf("zero-byte budget should clamp to 1, got %d", budget)
+	}
+}
