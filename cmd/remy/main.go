@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 
@@ -138,5 +137,4 @@ func main() {
 		log.Fatalf("remy: writing %s: %v", *out, err)
 	}
 	log.Printf("wrote %s (%d rules)", *out, tree.NumWhiskers())
-	_ = os.Stdout
 }

@@ -1,37 +1,30 @@
-// Command simulate runs one dumbbell or trace-driven simulation with a
-// chosen congestion-control scheme and prints per-flow throughput, delay and
-// loss statistics. It is the quickest way to poke at the simulator:
+// Command simulate executes one scenario — from a declarative JSON spec file
+// or from flags — with a chosen congestion-control scheme, and prints
+// per-flow throughput, delay and loss statistics plus per-repetition
+// summaries. It is the quickest way to poke at the simulator:
 //
+//	simulate -spec examples/scenarios/dumbbell.json -workers 4
 //	simulate -scheme cubic -senders 8 -rate 15e6 -rtt 150 -duration 30
 //	simulate -scheme remy -remycc assets/remycc_delta1.json -senders 4
 //	simulate -scheme vegas -cell verizon -senders 4
+//
+// Repetition seeds derive deterministically from the base seed, so the same
+// spec and seed print identical output regardless of -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
-	"repro/internal/cc"
-	"repro/internal/cc/compound"
-	"repro/internal/cc/cubic"
-	"repro/internal/cc/dctcp"
-	"repro/internal/cc/newreno"
-	"repro/internal/cc/vegas"
-	"repro/internal/cc/xcp"
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/netsim"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/traces"
-	"repro/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
-	scheme := flag.String("scheme", "newreno", "newreno, vegas, cubic, compound, cubic-sfqcodel, xcp, dctcp, remy")
+	specFile := flag.String("spec", "", "JSON scenario spec file (overrides the topology flags)")
+	scheme := flag.String("scheme", "newreno", "registered scheme: newreno, vegas, cubic, compound, cubic/sfqcodel, xcp, dctcp, remy")
 	remycc := flag.String("remycc", "", "RemyCC rule-table JSON (required for -scheme remy)")
 	senders := flag.Int("senders", 8, "number of senders")
 	rate := flag.Float64("rate", 15e6, "bottleneck rate in bits/s")
@@ -41,88 +34,64 @@ func main() {
 	onKB := flag.Float64("on-kbytes", 100, "mean transfer size in kilobytes (exponential)")
 	offSec := flag.Float64("off", 0.5, "mean off time in seconds (exponential)")
 	cell := flag.String("cell", "", "replace the fixed-rate link with a synthetic cellular trace: verizon or att")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 0, "base random seed (overrides the spec file's seed when set; flag mode defaults to 1)")
+	reps := flag.Int("reps", 0, "repetitions (overrides the spec file's count when set; flag mode defaults to 1)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = NumCPU-1)")
 	flag.Parse()
 
-	queue := harness.QueueDropTail
-	var algo func() cc.Algorithm
-	switch *scheme {
-	case "newreno":
-		algo = func() cc.Algorithm { return newreno.New() }
-	case "vegas":
-		algo = func() cc.Algorithm { return vegas.New() }
-	case "cubic":
-		algo = func() cc.Algorithm { return cubic.New() }
-	case "compound":
-		algo = func() cc.Algorithm { return compound.New() }
-	case "cubic-sfqcodel":
-		algo = func() cc.Algorithm { return cubic.New() }
-		queue = harness.QueueSfqCoDel
-	case "xcp":
-		algo = func() cc.Algorithm { return xcp.New(netsim.MTU) }
-		queue = harness.QueueXCP
-	case "dctcp":
-		algo = func() cc.Algorithm { return dctcp.New() }
-		queue = harness.QueueECN
-	case "remy":
-		if *remycc == "" {
-			log.Fatal("simulate: -scheme remy requires -remycc <file.json>")
-		}
-		tree, err := core.LoadFile(*remycc)
+	var spec scenario.Spec
+	if *specFile != "" {
+		s, err := scenario.ReadFile(*specFile)
 		if err != nil {
 			log.Fatalf("simulate: %v", err)
 		}
-		log.Printf("loaded RemyCC with %d rules", tree.NumWhiskers())
-		algo = func() cc.Algorithm { return core.NewSender(tree) }
-	default:
-		log.Fatalf("simulate: unknown scheme %q", *scheme)
+		spec = s
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+	} else {
+		workload := scenario.ByBytesWorkload(
+			scenario.ExponentialDist(*onKB*1e3),
+			scenario.ExponentialDist(*offSec),
+		)
+		opts := []scenario.Option{
+			scenario.WithName(*scheme),
+			scenario.WithLink(*rate),
+			scenario.WithQueue("", *buffer),
+			scenario.WithDuration(*duration),
+			scenario.WithFlow(scenario.FlowSpec{
+				Scheme:   *scheme,
+				RemyCC:   *remycc,
+				Count:    *senders,
+				RTTMs:    *rtt,
+				Workload: workload,
+			}),
+		}
+		if *cell != "" {
+			opts = append(opts, scenario.WithLinkModel(*cell))
+		}
+		spec = scenario.New(opts...)
+		spec.Seed = 1
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+	}
+	if *reps > 0 {
+		spec.Repetitions = *reps
 	}
 
-	spec := workload.Spec{
-		Mode: workload.ByBytes,
-		On:   workload.Exponential{MeanValue: *onKB * 1e3},
-		Off:  workload.Exponential{MeanValue: *offSec},
-	}
-	flows := make([]harness.FlowSpec, *senders)
-	for i := range flows {
-		flows[i] = harness.FlowSpec{RTTMs: *rtt, Workload: spec, NewAlgorithm: algo}
-	}
-	scenario := harness.Scenario{
-		LinkRateBps:   *rate,
-		Queue:         queue,
-		QueueCapacity: *buffer,
-		Duration:      sim.FromSeconds(*duration),
-		Flows:         flows,
-	}
-	if *cell != "" {
-		var model traces.CellularModel
-		switch *cell {
-		case "verizon":
-			model = traces.VerizonLTEModel()
-		case "att":
-			model = traces.ATTLTEModel()
-		default:
-			log.Fatalf("simulate: unknown cellular model %q", *cell)
-		}
-		trace, err := model.Generate(scenario.Duration, sim.NewRNG(*seed))
-		if err != nil {
-			log.Fatalf("simulate: %v", err)
-		}
-		scenario.Trace = trace
-		scenario.LinkRateBps = 0
-		scenario.XCPCapacityBps = traces.AverageRateBps(trace, model.PacketBytes, scenario.Duration)
-		log.Printf("generated %s trace with %d delivery opportunities (avg %.1f Mbps)",
-			model.Name, len(trace), scenario.XCPCapacityBps/1e6)
-	}
-
-	res, err := harness.Run(scenario, *seed)
+	runner := scenario.Runner{Workers: *workers, Logf: log.Printf}
+	results, err := runner.RunOne(spec)
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}
 
+	// Per-flow detail for the first repetition, then one deterministic
+	// summary line per repetition (identical output for any -workers value).
+	first := results[0]
 	fmt.Printf("%-6s %12s %14s %10s %10s %10s\n", "flow", "tput (Mbps)", "queue delay", "loss rate", "on time", "packets")
 	var tputs, delays []float64
-	for i, f := range res.Flows {
+	for i, f := range first.Res.Flows {
 		m := f.Metrics
 		tputs = append(tputs, m.Mbps())
 		delays = append(delays, m.QueueingDelayMs())
@@ -130,6 +99,12 @@ func main() {
 			i, m.Mbps(), m.QueueingDelayMs(), m.LossRate(), m.OnDuration, m.PacketsSent)
 	}
 	fmt.Printf("\nmedians: %.3f Mbps, %.2f ms queueing delay\n", stats.Median(tputs), stats.Median(delays))
-	fmt.Printf("bottleneck: offered %d, delivered %d, dropped %d packets\n", res.Offered, res.Delivered, res.Dropped)
-	_ = os.Stdout
+	fmt.Printf("bottleneck: offered %d, delivered %d, dropped %d packets\n",
+		first.Res.Offered, first.Res.Delivered, first.Res.Dropped)
+
+	fmt.Println("\nper-repetition summaries:")
+	for _, res := range results {
+		fmt.Printf("rep %3d seed %20d  throughput(Mbps) %s  queue-delay(ms) %s\n",
+			res.Rep, res.Seed, res.Throughput, res.Delay)
+	}
 }

@@ -1,7 +1,9 @@
 // Command tracegen emits a synthetic cellular delivery-opportunity trace
 // (one microsecond timestamp per line), the format consumed by the
 // trace-driven bottleneck link. Real captures converted to the same format
-// can be substituted anywhere a synthetic trace is used.
+// can be substituted anywhere a synthetic trace is used. Models are resolved
+// through the scenario registry, so a newly registered link model is
+// immediately available here.
 //
 //	tracegen -model verizon -duration 120 -seed 3 > verizon.trace
 package main
@@ -10,26 +12,24 @@ import (
 	"flag"
 	"log"
 	"os"
+	"strings"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/traces"
 )
 
 func main() {
 	log.SetFlags(0)
-	model := flag.String("model", "verizon", "cellular model: verizon or att")
+	reg := scenario.Default()
+	model := flag.String("model", "verizon", "registered cellular link model (one of: "+strings.Join(reg.LinkModels(), ", ")+")")
 	duration := flag.Float64("duration", 60, "trace duration in seconds")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var m traces.CellularModel
-	switch *model {
-	case "verizon":
-		m = traces.VerizonLTEModel()
-	case "att":
-		m = traces.ATTLTEModel()
-	default:
-		log.Fatalf("tracegen: unknown model %q", *model)
+	m, err := reg.LinkModel(*model)
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
 	}
 	trace, err := m.Generate(sim.FromSeconds(*duration), sim.NewRNG(*seed))
 	if err != nil {

@@ -1,8 +1,12 @@
 // Cellular: evaluate congestion control over a time-varying LTE-like
 // downlink (the §5.3 scenario). A pre-trained RemyCC (loaded from assets, or
 // a quickly trained fallback) competes with Cubic and Vegas over the same
-// synthetic cellular trace, illustrating "model mismatch": the link's rate
-// swings far outside the RemyCC's design range.
+// synthetic cellular link model, illustrating "model mismatch": the link's
+// rate swings far outside the RemyCC's design range.
+//
+// The whole comparison is one batch of declarative specs — one per scheme,
+// sharing the same seed so every scheme sees the identical trace — executed
+// across the scenario runner's worker pool.
 //
 //	go run ./examples/cellular
 package main
@@ -11,22 +15,15 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cc"
-	"repro/internal/cc/cubic"
-	"repro/internal/cc/vegas"
-	"repro/internal/core"
 	"repro/internal/exp"
-	"repro/internal/harness"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/traces"
-	"repro/internal/workload"
+	"repro/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// Load (or quickly train) the general-purpose RemyCC with δ = 1.
+	// Load (or quickly train) the general-purpose RemyCC with δ = 1 and
+	// register it alongside the built-in schemes.
 	assets := exp.FindAssetsDir()
 	tree, err := exp.LoadOrTrainRemyCC(assets, exp.AssetRemyDelta1, exp.GeneralPurposeTrainSpec(1, 0.02), log.Printf)
 	if err != nil {
@@ -34,53 +31,39 @@ func main() {
 	}
 	log.Printf("RemyCC: %d rules", tree.NumWhiskers())
 
-	// Generate a 30-second Verizon-like LTE trace.
-	model := traces.VerizonLTEModel()
-	duration := 30 * sim.Second
-	trace, err := model.Generate(duration, sim.NewRNG(11))
+	reg := scenario.Default().Clone()
+	if err := reg.RegisterRemy("remy-d1", tree); err != nil {
+		log.Fatal(err)
+	}
+
+	// One spec per scheme over the same 30-second Verizon-like LTE model;
+	// equal seeds mean equal traces, so the comparison is apples-to-apples.
+	schemes := []string{"remy-d1", "cubic", "vegas"}
+	workload := scenario.ByBytesWorkload(scenario.ExponentialDist(100e3), scenario.ExponentialDist(0.5))
+	specs := make([]scenario.Spec, len(schemes))
+	for i, name := range schemes {
+		specs[i] = scenario.New(
+			scenario.WithName(name),
+			scenario.WithLinkModel("verizon"),
+			scenario.WithQueue(scenario.QueueDropTail, 1000),
+			scenario.WithDuration(30),
+			scenario.WithSeed(3),
+			scenario.WithFlows(4, name, 50, workload),
+		)
+	}
+
+	results, err := scenario.Runner{Registry: reg}.RunAll(specs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	avg := traces.AverageRateBps(trace, model.PacketBytes, duration)
-	log.Printf("cellular trace: %d delivery opportunities, average %.1f Mbps", len(trace), avg/1e6)
-
-	schemes := []struct {
-		name string
-		algo func() cc.Algorithm
-	}{
-		{"remy", func() cc.Algorithm { return core.NewSender(tree) }},
-		{"cubic", func() cc.Algorithm { return cubic.New() }},
-		{"vegas", func() cc.Algorithm { return vegas.New() }},
-	}
 
 	fmt.Printf("%-8s %14s %18s %10s\n", "scheme", "median tput", "median queue delay", "losses")
-	for _, s := range schemes {
-		spec := workload.Spec{
-			Mode: workload.ByBytes,
-			On:   workload.Exponential{MeanValue: 100e3},
-			Off:  workload.Exponential{MeanValue: 0.5},
-		}
-		flows := make([]harness.FlowSpec, 4)
-		for i := range flows {
-			flows[i] = harness.FlowSpec{RTTMs: 50, Workload: spec, NewAlgorithm: s.algo}
-		}
-		res, err := harness.Run(harness.Scenario{
-			Trace:         trace,
-			Queue:         harness.QueueDropTail,
-			QueueCapacity: 1000,
-			Duration:      duration,
-			Flows:         flows,
-		}, 3)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var tputs, delays []float64
+	for i, res := range results {
 		var losses int64
-		for _, f := range res.Flows {
-			tputs = append(tputs, f.Metrics.Mbps())
-			delays = append(delays, f.Metrics.QueueingDelayMs())
+		for _, f := range res.Res.Flows {
 			losses += f.Transport.LossEvents
 		}
-		fmt.Printf("%-8s %11.2f Mbps %15.2f ms %10d\n", s.name, stats.Median(tputs), stats.Median(delays), losses)
+		fmt.Printf("%-8s %11.2f Mbps %15.2f ms %10d\n",
+			schemes[i], res.Throughput.Median, res.Delay.Median, losses)
 	}
 }

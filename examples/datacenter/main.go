@@ -2,6 +2,8 @@
 // fast, low-latency link with incast-style on/off transfers; DCTCP (with an
 // ECN-marking gateway) is compared against a RemyCC designed for the
 // minimum-potential-delay objective running over a plain DropTail queue.
+// Each comparison arm is one declarative spec; the queue discipline follows
+// the scheme automatically (ECN for DCTCP, DropTail for the RemyCC).
 //
 //	go run ./examples/datacenter
 package main
@@ -10,14 +12,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cc"
-	"repro/internal/cc/dctcp"
-	"repro/internal/core"
 	"repro/internal/exp"
-	"repro/internal/harness"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -30,34 +27,34 @@ func main() {
 	}
 	log.Printf("datacenter RemyCC: %d rules", tree.NumWhiskers())
 
+	reg := scenario.Default().Clone()
+	if err := reg.RegisterRemy("remy-dc", tree); err != nil {
+		log.Fatal(err)
+	}
+	runner := scenario.Runner{Registry: reg}
+
 	// 32 senders, 1 Gbps, 1 ms RTT: scaled down from the paper's 64 senders
 	// at 10 Gbps so the example runs in seconds, preserving the regime
 	// (bandwidth-delay product of a few packets per sender, incast-like
 	// on/off load).
 	const senders = 32
-	spec := workload.Spec{
-		Mode: workload.ByBytes,
-		On:   workload.Exponential{MeanValue: 2e6},
-		Off:  workload.Exponential{MeanValue: 0.1},
-	}
-	run := func(name string, queue harness.QueueKind, algo func() cc.Algorithm) {
-		flows := make([]harness.FlowSpec, senders)
-		for i := range flows {
-			flows[i] = harness.FlowSpec{RTTMs: 1, Workload: spec, NewAlgorithm: algo}
-		}
-		res, err := harness.Run(harness.Scenario{
-			LinkRateBps:         1e9,
-			Queue:               queue,
-			QueueCapacity:       1000,
-			ECNThresholdPackets: 65,
-			Duration:            5 * sim.Second,
-			Flows:               flows,
-		}, 17)
+	workload := scenario.ByBytesWorkload(scenario.ExponentialDist(2e6), scenario.ExponentialDist(0.1))
+	run := func(name, queueKind string) {
+		spec := scenario.New(
+			scenario.WithName(name),
+			scenario.WithLink(1e9),
+			scenario.WithQueue(queueKind, 1000),
+			scenario.WithECNThreshold(65),
+			scenario.WithDuration(5),
+			scenario.WithSeed(17),
+			scenario.WithFlows(senders, name, 1, workload),
+		)
+		results, err := runner.RunOne(spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var tputs, rtts []float64
-		for _, f := range res.Flows {
+		for _, f := range results[0].Res.Flows {
 			if f.Metrics.OnDuration <= 0 {
 				continue
 			}
@@ -69,8 +66,8 @@ func main() {
 	}
 
 	fmt.Printf("datacenter comparison: %d senders, 1 Gbps, 1 ms RTT, 2 MB mean transfers\n\n", senders)
-	run("dctcp", harness.QueueECN, func() cc.Algorithm { return dctcp.New() })
-	run("remy-dc", harness.QueueDropTail, func() cc.Algorithm { return core.NewSender(tree) })
+	run("dctcp", scenario.QueueECN)
+	run("remy-dc", scenario.QueueDropTail)
 	fmt.Println("\n(The paper's Table in §5.5 uses 64 senders at 10 Gbps over 100 s; run")
 	fmt.Println(" `experiments -run table3` for the scaled reproduction of that table.)")
 }

@@ -2,7 +2,8 @@
 // designed with different amounts of prior information about the link speed
 // — one told the exact rate, one told only a tenfold range — and both are
 // then evaluated across link speeds inside and outside their design ranges,
-// alongside Cubic-over-sfqCoDel.
+// alongside Cubic-over-sfqCoDel. The sweep is a batch of declarative specs
+// (scheme × speed) run across the scenario worker pool in one call.
 //
 //	go run ./examples/designrange
 package main
@@ -11,14 +12,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cc"
-	"repro/internal/cc/cubic"
-	"repro/internal/core"
 	"repro/internal/exp"
-	"repro/internal/harness"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -35,46 +31,54 @@ func main() {
 	}
 	log.Printf("remy-1x: %d rules, remy-10x: %d rules", tree1x.NumWhiskers(), tree10x.NumWhiskers())
 
+	reg := scenario.Default().Clone()
+	if err := reg.RegisterRemy("remy-1x", tree1x); err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.RegisterRemy("remy-10x", tree10x); err != nil {
+		log.Fatal(err)
+	}
+
 	objective := stats.DefaultObjective(1)
 	speeds := []float64{4.7e6, 15e6, 47e6}
-
 	schemes := []struct {
 		name  string
-		queue harness.QueueKind
-		algo  func() cc.Algorithm
+		queue string
 	}{
-		{"remy-1x", harness.QueueDropTail, func() cc.Algorithm { return core.NewSender(tree1x) }},
-		{"remy-10x", harness.QueueDropTail, func() cc.Algorithm { return core.NewSender(tree10x) }},
-		{"cubic/sfqcodel", harness.QueueSfqCoDel, func() cc.Algorithm { return cubic.New() }},
+		{"remy-1x", scenario.QueueDropTail},
+		{"remy-10x", scenario.QueueDropTail},
+		{"cubic/sfqcodel", scenario.QueueSfqCoDel},
+	}
+
+	// One spec per (scheme, speed) cell, all executed as a single batch.
+	workload := scenario.ByBytesWorkload(scenario.ExponentialDist(100e3), scenario.ExponentialDist(0.5))
+	var specs []scenario.Spec
+	for _, s := range schemes {
+		for _, speed := range speeds {
+			specs = append(specs, scenario.New(
+				scenario.WithName(fmt.Sprintf("%s@%.1fMbps", s.name, speed/1e6)),
+				scenario.WithLink(speed),
+				scenario.WithQueue(s.queue, 1000),
+				scenario.WithDuration(20),
+				scenario.WithSeed(23),
+				scenario.WithFlows(2, s.name, 150, workload),
+			))
+		}
+	}
+	results, err := scenario.Runner{Registry: reg}.RunAll(specs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("%-16s %12s %12s %12s   (objective: log tput - log delay; higher is better)\n",
 		"scheme", "4.7 Mbps", "15 Mbps", "47 Mbps")
-	for _, s := range schemes {
+	for si, s := range schemes {
 		fmt.Printf("%-16s", s.name)
-		for _, speed := range speeds {
-			spec := workload.Spec{
-				Mode: workload.ByBytes,
-				On:   workload.Exponential{MeanValue: 100e3},
-				Off:  workload.Exponential{MeanValue: 0.5},
-			}
-			flows := []harness.FlowSpec{
-				{RTTMs: 150, Workload: spec, NewAlgorithm: s.algo},
-				{RTTMs: 150, Workload: spec, NewAlgorithm: s.algo},
-			}
-			res, err := harness.Run(harness.Scenario{
-				LinkRateBps:   speed,
-				Queue:         s.queue,
-				QueueCapacity: 1000,
-				Duration:      20 * sim.Second,
-				Flows:         flows,
-			}, 23)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for pi, speed := range speeds {
+			res := results[si*len(speeds)+pi]
 			var sum float64
 			n := 0
-			for _, f := range res.Flows {
+			for _, f := range res.Res.Flows {
 				if f.Metrics.OnDuration <= 0 {
 					continue
 				}

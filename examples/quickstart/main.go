@@ -3,7 +3,8 @@
 //
 // This is the end-to-end "hello world" of the repository: state prior
 // assumptions about the network and an objective, let the machine design the
-// congestion-control algorithm, then evaluate the result.
+// congestion-control algorithm, then evaluate the result through the
+// declarative scenario API.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,14 +13,10 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cc"
-	"repro/internal/cc/newreno"
-	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/optimizer"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -56,37 +53,38 @@ func main() {
 	log.Printf("designed a RemyCC with %d rules after %d rounds\n", remyCC.NumWhiskers(), len(progress))
 
 	// 4. Evaluate the generated algorithm head-to-head with NewReno on a
-	//    network drawn from the same design range.
-	race := func(name string, algo func() cc.Algorithm) (float64, float64) {
-		spec := workload.Spec{
-			Mode: workload.ByTime,
-			On:   workload.Exponential{MeanValue: 2},
-			Off:  workload.Exponential{MeanValue: 2},
-		}
-		flows := make([]harness.FlowSpec, 4)
-		for i := range flows {
-			flows[i] = harness.FlowSpec{RTTMs: 150, Workload: spec, NewAlgorithm: algo}
-		}
-		res, err := harness.Run(harness.Scenario{
-			LinkRateBps:   15e6,
-			Queue:         harness.QueueDropTail,
-			QueueCapacity: 1000,
-			Duration:      30 * sim.Second,
-			Flows:         flows,
-		}, 7)
+	//    network drawn from the same design range: register the fresh RemyCC
+	//    under a scheme name and race both schemes through the same spec.
+	reg := scenario.Default().Clone()
+	if err := reg.RegisterRemy("remy-quickstart", remyCC); err != nil {
+		log.Fatal(err)
+	}
+	runner := scenario.Runner{Registry: reg}
+
+	race := func(schemeName string) (float64, float64) {
+		spec := scenario.New(
+			scenario.WithName("quickstart-"+schemeName),
+			scenario.WithLink(15e6),
+			scenario.WithQueue(scenario.QueueDropTail, 1000),
+			scenario.WithDuration(30),
+			scenario.WithSeed(7),
+			scenario.WithFlows(4, schemeName, 150,
+				scenario.ByTimeWorkload(scenario.ExponentialDist(2), scenario.ExponentialDist(2))),
+		)
+		results, err := runner.RunOne(spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var tputs, delays []float64
-		for _, f := range res.Flows {
+		for _, f := range results[0].Res.Flows {
 			tputs = append(tputs, f.Metrics.Mbps())
 			delays = append(delays, f.Metrics.QueueingDelayMs())
 		}
 		return stats.Median(tputs), stats.Median(delays)
 	}
 
-	remyTput, remyDelay := race("remy", func() cc.Algorithm { return core.NewSender(remyCC) })
-	renoTput, renoDelay := race("newreno", func() cc.Algorithm { return newreno.New() })
+	remyTput, remyDelay := race("remy-quickstart")
+	renoTput, renoDelay := race("newreno")
 
 	fmt.Printf("\n%-10s %14s %18s\n", "scheme", "median tput", "median queue delay")
 	fmt.Printf("%-10s %11.2f Mbps %15.2f ms\n", "remy", remyTput, remyDelay)

@@ -3,52 +3,40 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/traces"
-	"repro/internal/workload"
 )
 
-// cellularBuilder builds the §5.3 trace-driven scenario: n senders share a
-// cellular downlink whose delivery opportunities come from a synthetic LTE
-// trace (one fresh trace per run, seeded deterministically), with a 50 ms
-// propagation RTT and a 1000-packet tail-drop buffer. XCP is supplied with
-// the trace's long-term average rate, as in the paper.
-func cellularBuilder(model traces.CellularModel, n int, duration sim.Time, seed int64) scenarioBuilder {
-	return func(p Protocol, run int) (harness.Scenario, error) {
-		rng := sim.NewRNG(seed + int64(run)*104729)
-		trace, err := model.Generate(duration, rng)
-		if err != nil {
-			return harness.Scenario{}, err
-		}
-		spec := workload.Spec{
-			Mode: workload.ByBytes,
-			On:   workload.Exponential{MeanValue: 100e3},
-			Off:  workload.Exponential{MeanValue: 0.5},
-		}
-		flows := make([]harness.FlowSpec, n)
-		for i := range flows {
-			flows[i] = harness.FlowSpec{RTTMs: 50, Workload: spec, NewAlgorithm: p.New}
-		}
-		return harness.Scenario{
-			Trace:          trace,
-			XCPCapacityBps: traces.AverageRateBps(trace, model.PacketBytes, duration),
-			Queue:          p.Queue,
-			QueueCapacity:  1000,
-			Duration:       duration,
-			Flows:          flows,
-		}, nil
+// cellularSpec builds the §5.3 trace-driven scenario: n senders share a
+// cellular downlink whose delivery opportunities come from a registered
+// synthetic LTE link model (one fresh trace per repetition, seeded
+// deterministically), with a 50 ms propagation RTT and a 1000-packet
+// tail-drop buffer. XCP is supplied with the trace's long-term average rate,
+// as in the paper (the scenario compiler computes it automatically).
+func cellularSpec(model string, n int, duration sim.Time) specBuilder {
+	return func(p Protocol) (scenario.Spec, error) {
+		return scenario.New(
+			scenario.WithLinkModel(model),
+			scenario.WithQueue(p.QueueKind(), 1000),
+			scenario.WithDuration(duration.Seconds()),
+			scenario.WithFlows(n, p.Name, 50,
+				scenario.ByBytesWorkload(scenario.ExponentialDist(100e3), scenario.ExponentialDist(0.5))),
+		), nil
 	}
 }
 
-func cellularExperiment(id, title string, model traces.CellularModel, n int, cfg RunConfig) (Report, error) {
+func cellularExperiment(id, title, model string, n int, cfg RunConfig) (Report, error) {
 	trees, err := loadGeneralPurposeRemyCCs(cfg)
 	if err != nil {
 		return Report{}, err
 	}
 	protocols := append(remyProtocols(trees), BaselineProtocols()...)
-	build := cellularBuilder(model, n, cfg.Duration, cfg.Seed)
-	schemes, err := runSchemes(protocols, build, cfg)
+	reg, err := registryWith(protocols...)
+	if err != nil {
+		return Report{}, err
+	}
+	build := cellularSpec(model, n, cfg.Duration)
+	schemes, err := runSchemes(protocols, build, reg, cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -66,17 +54,17 @@ func cellularExperiment(id, title string, model traces.CellularModel, n int, cfg
 
 // Figure7 reproduces the Verizon LTE downlink experiment with n = 4 senders.
 func Figure7(cfg RunConfig) (Report, error) {
-	return cellularExperiment("fig7", "Verizon-like LTE downlink, n=4 (paper Figure 7)", traces.VerizonLTEModel(), 4, cfg)
+	return cellularExperiment("fig7", "Verizon-like LTE downlink, n=4 (paper Figure 7)", "verizon", 4, cfg)
 }
 
 // Figure8 reproduces the Verizon LTE downlink experiment with n = 8 senders.
 func Figure8(cfg RunConfig) (Report, error) {
-	return cellularExperiment("fig8", "Verizon-like LTE downlink, n=8 (paper Figure 8)", traces.VerizonLTEModel(), 8, cfg)
+	return cellularExperiment("fig8", "Verizon-like LTE downlink, n=8 (paper Figure 8)", "verizon", 8, cfg)
 }
 
 // Figure9 reproduces the AT&T LTE downlink experiment with n = 4 senders.
 func Figure9(cfg RunConfig) (Report, error) {
-	return cellularExperiment("fig9", "AT&T-like LTE downlink, n=4 (paper Figure 9)", traces.ATTLTEModel(), 4, cfg)
+	return cellularExperiment("fig9", "AT&T-like LTE downlink, n=4 (paper Figure 9)", "att", 4, cfg)
 }
 
 // Table2 reproduces the second §1 summary table: RemyCC (δ=1) speedups over

@@ -3,12 +3,10 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // loadGeneralPurposeRemyCCs returns the three δ ∈ {0.1, 1, 10} RemyCCs used
@@ -37,28 +35,20 @@ func remyProtocols(trees map[float64]*core.WhiskerTree) []Protocol {
 	}
 }
 
-// dumbbellBuilder builds the single-bottleneck scenario of §5.2: a 15 Mbps
-// link, 150 ms RTT, 1000-packet buffer, and n senders alternating between
-// transfers drawn from `flowLengths` and exponentially distributed off times.
-func dumbbellBuilder(n int, linkRateBps float64, rttMs float64, flowLengths workload.Distribution,
-	meanOffSeconds float64, duration sim.Time) scenarioBuilder {
-	return func(p Protocol, run int) (harness.Scenario, error) {
-		spec := workload.Spec{
-			Mode: workload.ByBytes,
-			On:   flowLengths,
-			Off:  workload.Exponential{MeanValue: meanOffSeconds},
-		}
-		flows := make([]harness.FlowSpec, n)
-		for i := range flows {
-			flows[i] = harness.FlowSpec{RTTMs: rttMs, Workload: spec, NewAlgorithm: p.New}
-		}
-		return harness.Scenario{
-			LinkRateBps:   linkRateBps,
-			Queue:         p.Queue,
-			QueueCapacity: 1000,
-			Duration:      duration,
-			Flows:         flows,
-		}, nil
+// dumbbellSpec builds the single-bottleneck scenario of §5.2: a fixed-rate
+// link, a 1000-packet buffer, and n senders alternating between transfers
+// drawn from `flowLengths` and exponentially distributed off times. The
+// bottleneck queue follows the protocol under test.
+func dumbbellSpec(n int, linkRateBps float64, rttMs float64, flowLengths scenario.DistSpec,
+	meanOffSeconds float64, duration sim.Time) specBuilder {
+	return func(p Protocol) (scenario.Spec, error) {
+		return scenario.New(
+			scenario.WithLink(linkRateBps),
+			scenario.WithQueue(p.QueueKind(), 1000),
+			scenario.WithDuration(duration.Seconds()),
+			scenario.WithFlows(n, p.Name, rttMs,
+				scenario.ByBytesWorkload(flowLengths, scenario.ExponentialDist(meanOffSeconds))),
+		), nil
 	}
 }
 
@@ -71,8 +61,12 @@ func Figure4(cfg RunConfig) (Report, error) {
 		return Report{}, err
 	}
 	protocols := append(remyProtocols(trees), BaselineProtocols()...)
-	build := dumbbellBuilder(8, 15e6, 150, workload.Exponential{MeanValue: 100e3}, 0.5, cfg.Duration)
-	schemes, err := runSchemes(protocols, build, cfg)
+	reg, err := registryWith(protocols...)
+	if err != nil {
+		return Report{}, err
+	}
+	build := dumbbellSpec(8, 15e6, 150, scenario.ExponentialDist(100e3), 0.5, cfg.Duration)
+	schemes, err := runSchemes(protocols, build, reg, cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -113,8 +107,12 @@ func Figure5(cfg RunConfig) (Report, error) {
 		return Report{}, err
 	}
 	protocols := append(remyProtocols(trees), BaselineProtocols()...)
-	build := dumbbellBuilder(12, 15e6, 150, workload.ICSIFlowLengths(16384), 0.2, cfg.Duration)
-	schemes, err := runSchemes(protocols, build, cfg)
+	reg, err := registryWith(protocols...)
+	if err != nil {
+		return Report{}, err
+	}
+	build := dumbbellSpec(12, 15e6, 150, scenario.ICSIDist(16384), 0.2, cfg.Duration)
+	schemes, err := runSchemes(protocols, build, reg, cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -145,7 +143,10 @@ func Figure6(cfg RunConfig) (Report, []SequencePoint, error) {
 	if err != nil {
 		return Report{}, nil, err
 	}
-	tree := trees[1]
+	reg, err := registryWith(remyProtocols(trees)...)
+	if err != nil {
+		return Report{}, nil, err
+	}
 	duration := cfg.Duration
 	if duration < 10*sim.Second {
 		duration = 10 * sim.Second
@@ -154,36 +155,35 @@ func Figure6(cfg RunConfig) (Report, []SequencePoint, error) {
 
 	var series []SequencePoint
 	var delivered int64
-	observed := workload.Spec{
-		Mode:    workload.ByTime,
-		On:      workload.Constant{Value: duration.Seconds()},
-		Off:     workload.Constant{Value: duration.Seconds()},
+	observed := scenario.WorkloadSpec{
+		Mode:    scenario.ModeByTime,
+		On:      scenario.ConstantDist(duration.Seconds()),
+		Off:     scenario.ConstantDist(duration.Seconds()),
 		StartOn: true,
 	}
-	competitor := workload.Spec{
-		Mode:    workload.ByTime,
-		On:      workload.Constant{Value: half.Seconds()},
-		Off:     workload.Constant{Value: 10 * duration.Seconds()},
+	competitor := scenario.WorkloadSpec{
+		Mode:    scenario.ModeByTime,
+		On:      scenario.ConstantDist(half.Seconds()),
+		Off:     scenario.ConstantDist(10 * duration.Seconds()),
 		StartOn: true,
 	}
-	scenario := harness.Scenario{
-		LinkRateBps:   15e6,
-		Queue:         harness.QueueDropTail,
-		QueueCapacity: 1000,
-		Duration:      duration,
-		Flows: []harness.FlowSpec{
-			{RTTMs: 150, Workload: observed, NewAlgorithm: func() cc.Algorithm { return core.NewSender(tree) }},
-			{RTTMs: 150, Workload: competitor, NewAlgorithm: func() cc.Algorithm { return core.NewSender(tree) }},
-		},
-		OnDeliver: func(p *netsim.Packet, now sim.Time) {
+	spec := scenario.New(
+		scenario.WithName("fig6-sequence"),
+		scenario.WithLink(15e6),
+		scenario.WithQueue(scenario.QueueDropTail, 1000),
+		scenario.WithDuration(duration.Seconds()),
+		scenario.WithSeed(cfg.Seed),
+		scenario.WithFlow(scenario.FlowSpec{Scheme: "remy-d1", RTTMs: 150, Workload: observed}),
+		scenario.WithFlow(scenario.FlowSpec{Scheme: "remy-d1", RTTMs: 150, Workload: competitor}),
+		scenario.WithOnDeliver(func(p *netsim.Packet, now sim.Time) {
 			if p.Flow != 0 {
 				return
 			}
 			delivered++
 			series = append(series, SequencePoint{TimeSeconds: now.Seconds(), CumulativePackets: delivered})
-		},
-	}
-	if _, err := harness.Run(scenario, cfg.Seed); err != nil {
+		}),
+	)
+	if _, err := (scenario.Runner{Registry: reg, Workers: 1}).RunOne(spec); err != nil {
 		return Report{}, nil, err
 	}
 

@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -56,54 +56,46 @@ func Figure10(cfg RunConfig) (Report, error) {
 		return Report{}, err
 	}
 	protocols := append(remyProtocols(trees), CubicSfqCoDel())
+	reg, err := registryWith(protocols...)
+	if err != nil {
+		return Report{}, err
+	}
 	rtts := []float64{50, 100, 150, 200}
 
-	build := func(p Protocol, run int) (harness.Scenario, error) {
-		spec := workload.Spec{
-			Mode: workload.ByBytes,
-			On:   workload.ICSIFlowLengths(16384),
-			Off:  workload.Exponential{MeanValue: 0.2},
-		}
-		flows := make([]harness.FlowSpec, len(rtts))
-		for i, rtt := range rtts {
-			flows[i] = harness.FlowSpec{RTTMs: rtt, Workload: spec, NewAlgorithm: p.New}
-		}
-		return harness.Scenario{
-			LinkRateBps:   10e6,
-			Queue:         p.Queue,
-			QueueCapacity: 1000,
-			Duration:      cfg.Duration,
-			Flows:         flows,
-		}, nil
-	}
-
-	// For this experiment we need per-RTT (i.e. per-flow-position) shares, so
-	// run the scenarios directly rather than through runScheme (which pools
-	// flows together).
+	// This experiment needs per-RTT (i.e. per-flow-position) shares, so it
+	// inspects each repetition's flow results rather than pooling them.
 	lines := []string{fmt.Sprintf("%-16s %10s %10s %10s %10s", "scheme", "50ms", "100ms", "150ms", "200ms")}
 	schemes := make([]SchemeResult, 0, len(protocols))
 	shares := make(map[string][]float64)
 	for _, p := range protocols {
+		w := scenario.ByBytesWorkload(scenario.ICSIDist(16384), scenario.ExponentialDist(0.2))
+		spec := scenario.New(
+			scenario.WithName("fig10-"+p.Name),
+			scenario.WithLink(10e6),
+			scenario.WithQueue(p.QueueKind(), 1000),
+			scenario.WithDuration(cfg.Duration.Seconds()),
+			scenario.WithSeed(cfg.Seed),
+			scenario.WithRepetitions(cfg.Runs),
+		)
+		for _, rtt := range rtts {
+			spec.Flows = append(spec.Flows, scenario.FlowSpec{Scheme: p.Name, RTTMs: rtt, Workload: w})
+		}
+		results, err := cfg.runner(reg).RunOne(spec)
+		if err != nil {
+			return Report{}, err
+		}
 		perRTT := make([]float64, len(rtts))
 		counts := make([]int, len(rtts))
 		sr := SchemeResult{Protocol: p.Name}
-		for run := 0; run < cfg.Runs; run++ {
-			scenario, err := build(p, run)
-			if err != nil {
-				return Report{}, err
-			}
-			res, err := harness.Run(scenario, cfg.Seed+int64(run)*7919)
-			if err != nil {
-				return Report{}, err
-			}
+		for _, res := range results {
 			var total float64
-			for _, f := range res.Flows {
+			for _, f := range res.Res.Flows {
 				total += f.Metrics.Mbps()
 			}
 			if total <= 0 {
 				continue
 			}
-			for i, f := range res.Flows {
+			for i, f := range res.Res.Flows {
 				perRTT[i] += f.Metrics.Mbps() / total
 				counts[i]++
 				sr.Points = append(sr.Points, stats.Point{DelayMs: f.Metrics.QueueingDelayMs(), ThroughputMbps: f.Metrics.Mbps()})
@@ -147,6 +139,11 @@ func Table3(cfg RunConfig) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	protocols := []Protocol{DCTCP(), Remy("remy-dc", tree)}
+	reg, err := registryWith(protocols...)
+	if err != nil {
+		return Report{}, err
+	}
 	// The paper simulates 100 s at 10 Gbps; that is hundreds of millions of
 	// packet events, so the reproduction uses a scaled duration (documented).
 	duration := cfg.Duration
@@ -164,27 +161,17 @@ func Table3(cfg RunConfig) (Report, error) {
 	localCfg := cfg
 	localCfg.Runs = runs
 
-	spec := workload.Spec{
-		Mode: workload.ByBytes,
-		On:   workload.Exponential{MeanValue: 20e6},
-		Off:  workload.Exponential{MeanValue: 0.1},
+	build := func(p Protocol) (scenario.Spec, error) {
+		return scenario.New(
+			scenario.WithLink(10e9),
+			scenario.WithQueue(p.QueueKind(), 1000),
+			scenario.WithECNThreshold(65),
+			scenario.WithDuration(duration.Seconds()),
+			scenario.WithFlows(senders, p.Name, 4,
+				scenario.ByBytesWorkload(scenario.ExponentialDist(20e6), scenario.ExponentialDist(0.1))),
+		), nil
 	}
-	build := func(p Protocol, run int) (harness.Scenario, error) {
-		flows := make([]harness.FlowSpec, senders)
-		for i := range flows {
-			flows[i] = harness.FlowSpec{RTTMs: 4, Workload: spec, NewAlgorithm: p.New}
-		}
-		return harness.Scenario{
-			LinkRateBps:         10e9,
-			Queue:               p.Queue,
-			QueueCapacity:       1000,
-			ECNThresholdPackets: 65,
-			Duration:            duration,
-			Flows:               flows,
-		}, nil
-	}
-	protocols := []Protocol{DCTCP(), Remy("remy-dc", tree)}
-	schemes, err := runSchemes(protocols, build, localCfg)
+	schemes, err := runSchemes(protocols, build, reg, localCfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -208,37 +195,43 @@ func Table3(cfg RunConfig) (Report, error) {
 
 // Table4 reproduces the §5.6 competing-protocols tables: one RemyCC flow
 // sharing a 15 Mbps, 150 ms bottleneck with one Compound flow (at three mean
-// off times) and with one Cubic flow (at two mean transfer sizes).
+// off times) and with one Cubic flow (at two mean transfer sizes). The
+// heterogeneous flow mix is a single spec with two scheme entries.
 func Table4(cfg RunConfig) (Report, error) {
 	tree, err := LoadOrTrainRemyCC(cfg.AssetsDir, AssetRemyCompete, CompetingTrainSpec(cfg.TrainBudget), cfg.Logf)
 	if err != nil {
 		return Report{}, err
 	}
+	reg, err := registryWith(Remy("remy-compete", tree))
+	if err != nil {
+		return Report{}, err
+	}
 
-	runPair := func(other Protocol, on workload.Distribution, offMean float64) (remyTput, otherTput float64, err error) {
-		spec := workload.Spec{Mode: workload.ByBytes, On: on, Off: workload.Exponential{MeanValue: offMean}}
+	runPair := func(other Protocol, on scenario.DistSpec, offMean float64) (remyTput, otherTput float64, err error) {
+		w := scenario.ByBytesWorkload(on, scenario.ExponentialDist(offMean))
+		spec := scenario.New(
+			scenario.WithName("table4-remy-vs-"+other.Name),
+			scenario.WithLink(15e6),
+			scenario.WithQueue(scenario.QueueDropTail, 1000),
+			scenario.WithDuration(cfg.Duration.Seconds()),
+			scenario.WithSeed(cfg.Seed),
+			scenario.WithRepetitions(cfg.Runs),
+			scenario.WithFlow(scenario.FlowSpec{Scheme: "remy-compete", RTTMs: 150, Workload: w}),
+			scenario.WithFlow(scenario.FlowSpec{Scheme: other.Name, RTTMs: 150, Workload: w}),
+		)
+		results, err := cfg.runner(reg).RunOne(spec)
+		if err != nil {
+			return 0, 0, err
+		}
 		var remySum, otherSum float64
 		count := 0
-		for run := 0; run < cfg.Runs; run++ {
-			scenario := harness.Scenario{
-				LinkRateBps:   15e6,
-				Queue:         harness.QueueDropTail,
-				QueueCapacity: 1000,
-				Duration:      cfg.Duration,
-				Flows: []harness.FlowSpec{
-					{RTTMs: 150, Workload: spec, NewAlgorithm: Remy("remy", tree).New},
-					{RTTMs: 150, Workload: spec, NewAlgorithm: other.New},
-				},
-			}
-			res, err := harness.Run(scenario, cfg.Seed+int64(run)*6151)
-			if err != nil {
-				return 0, 0, err
-			}
-			if res.Flows[0].Metrics.OnDuration <= 0 || res.Flows[1].Metrics.OnDuration <= 0 {
+		for _, res := range results {
+			flows := res.Res.Flows
+			if flows[0].Metrics.OnDuration <= 0 || flows[1].Metrics.OnDuration <= 0 {
 				continue
 			}
-			remySum += res.Flows[0].Metrics.Mbps()
-			otherSum += res.Flows[1].Metrics.Mbps()
+			remySum += flows[0].Metrics.Mbps()
+			otherSum += flows[1].Metrics.Mbps()
 			count++
 		}
 		if count == 0 {
@@ -250,7 +243,7 @@ func Table4(cfg RunConfig) (Report, error) {
 	lines := []string{"RemyCC vs Compound (ICSI flow lengths, varying mean off time):",
 		fmt.Sprintf("  %-14s %16s %16s", "mean off time", "RemyCC tput", "Compound tput")}
 	for _, offMs := range []float64{200, 100, 10} {
-		r, o, err := runPair(Compound(), workload.ICSIFlowLengths(16384), offMs/1000)
+		r, o, err := runPair(Compound(), scenario.ICSIDist(16384), offMs/1000)
 		if err != nil {
 			return Report{}, err
 		}
@@ -259,7 +252,7 @@ func Table4(cfg RunConfig) (Report, error) {
 	lines = append(lines, "RemyCC vs Cubic (exponential flow lengths, 0.5 s mean off time):",
 		fmt.Sprintf("  %-14s %16s %16s", "mean size", "RemyCC tput", "Cubic tput"))
 	for _, size := range []float64{100e3, 1e6} {
-		r, o, err := runPair(Cubic(), workload.Exponential{MeanValue: size}, 0.5)
+		r, o, err := runPair(Cubic(), scenario.ExponentialDist(size), 0.5)
 		if err != nil {
 			return Report{}, err
 		}
@@ -289,6 +282,10 @@ func Figure11(cfg RunConfig) (Report, error) {
 		return Report{}, err
 	}
 	protocols := []Protocol{Remy("remy-1x", tree1x), Remy("remy-10x", tree10x), CubicSfqCoDel()}
+	reg, err := registryWith(protocols...)
+	if err != nil {
+		return Report{}, err
+	}
 	speeds := []float64{4.7e6, 8e6, 15e6, 27e6, 47e6}
 	objective := stats.DefaultObjective(1)
 
@@ -297,8 +294,8 @@ func Figure11(cfg RunConfig) (Report, error) {
 	for _, speed := range speeds {
 		row := make(map[string]float64)
 		for _, p := range protocols {
-			build := dumbbellBuilder(2, speed, 150, workload.Exponential{MeanValue: 100e3}, 0.5, cfg.Duration)
-			res, err := runScheme(p, build, cfg)
+			build := dumbbellSpec(2, speed, 150, scenario.ExponentialDist(100e3), 0.5, cfg.Duration)
+			res, err := runScheme(p, build, reg, cfg)
 			if err != nil {
 				return Report{}, err
 			}

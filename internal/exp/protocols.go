@@ -1,93 +1,60 @@
 // Package exp defines and runs the paper's evaluation experiments: one
-// scenario per table and figure in §5, built on the shared simulation
-// harness. Each experiment produces a Report containing both formatted text
-// (the rows or series the paper shows) and the structured per-scheme results
-// so tests and benchmarks can assert the qualitative shape of the outcome.
+// scenario per table and figure in §5, built on the unified scenario API.
+// Each experiment produces a Report containing both formatted text (the rows
+// or series the paper shows) and the structured per-scheme results so tests
+// and benchmarks can assert the qualitative shape of the outcome.
 package exp
 
 import (
-	"fmt"
-
-	"repro/internal/cc"
-	"repro/internal/cc/compound"
-	"repro/internal/cc/cubic"
-	"repro/internal/cc/dctcp"
-	"repro/internal/cc/newreno"
-	"repro/internal/cc/vegas"
-	"repro/internal/cc/xcp"
 	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/netsim"
+	"repro/internal/scenario"
 )
 
-// Protocol couples a congestion-control scheme with the bottleneck queue it
-// is evaluated over (end-to-end schemes use plain DropTail; Cubic/sfqCoDel,
-// XCP and DCTCP need router assistance).
-type Protocol struct {
-	// Name is the label used in tables and figures ("cubic", "remy-d0.1", ...).
-	Name string
-	// Queue is the bottleneck discipline this scheme runs over.
-	Queue harness.QueueKind
-	// New constructs a fresh algorithm instance for one flow.
-	New func() cc.Algorithm
-}
-
-// Validate reports whether the protocol is usable.
-func (p Protocol) Validate() error {
-	if p.Name == "" {
-		return fmt.Errorf("exp: protocol without a name")
-	}
-	if p.New == nil {
-		return fmt.Errorf("exp: protocol %q without a constructor", p.Name)
-	}
-	return nil
-}
+// Protocol is the scenario package's protocol description; the experiment
+// suite evaluates lists of them.
+type Protocol = scenario.Protocol
 
 // NewReno returns the NewReno baseline protocol.
-func NewReno() Protocol {
-	return Protocol{Name: "newreno", Queue: harness.QueueDropTail, New: func() cc.Algorithm { return newreno.New() }}
-}
+func NewReno() Protocol { return scenario.NewReno() }
 
 // Vegas returns the Vegas baseline protocol.
-func Vegas() Protocol {
-	return Protocol{Name: "vegas", Queue: harness.QueueDropTail, New: func() cc.Algorithm { return vegas.New() }}
-}
+func Vegas() Protocol { return scenario.Vegas() }
 
 // Cubic returns the Cubic baseline protocol over a DropTail queue.
-func Cubic() Protocol {
-	return Protocol{Name: "cubic", Queue: harness.QueueDropTail, New: func() cc.Algorithm { return cubic.New() }}
-}
+func Cubic() Protocol { return scenario.Cubic() }
 
 // Compound returns the Compound TCP baseline protocol.
-func Compound() Protocol {
-	return Protocol{Name: "compound", Queue: harness.QueueDropTail, New: func() cc.Algorithm { return compound.New() }}
-}
+func Compound() Protocol { return scenario.Compound() }
 
-// CubicSfqCoDel returns Cubic running over an sfqCoDel bottleneck (the
-// router-assisted baseline the paper calls Cubic-over-sfqCoDel).
-func CubicSfqCoDel() Protocol {
-	return Protocol{Name: "cubic/sfqcodel", Queue: harness.QueueSfqCoDel, New: func() cc.Algorithm { return cubic.New() }}
-}
+// CubicSfqCoDel returns Cubic running over an sfqCoDel bottleneck.
+func CubicSfqCoDel() Protocol { return scenario.CubicSfqCoDel() }
 
 // XCP returns the XCP protocol (sender plus XCP router queue).
-func XCP() Protocol {
-	return Protocol{Name: "xcp", Queue: harness.QueueXCP, New: func() cc.Algorithm { return xcp.New(netsim.MTU) }}
-}
+func XCP() Protocol { return scenario.XCP() }
 
 // DCTCP returns DCTCP over an ECN-marking queue (datacenter experiment).
-func DCTCP() Protocol {
-	return Protocol{Name: "dctcp", Queue: harness.QueueECN, New: func() cc.Algorithm { return dctcp.New() }}
-}
+func DCTCP() Protocol { return scenario.DCTCP() }
 
 // Remy returns a RemyCC protocol executing the given rule table over a
 // DropTail bottleneck (RemyCCs are purely end-to-end).
-func Remy(name string, tree *core.WhiskerTree) Protocol {
-	return Protocol{Name: name, Queue: harness.QueueDropTail, New: func() cc.Algorithm { return core.NewSender(tree) }}
-}
+func Remy(name string, tree *core.WhiskerTree) Protocol { return scenario.Remy(name, tree) }
 
 // BaselineProtocols returns the human-designed schemes of Figures 4–9 in the
-// order the paper lists them: end-to-end schemes first, then the two
-// router-assisted ones.
-func BaselineProtocols() []Protocol {
-	return []Protocol{NewReno(), Vegas(), Cubic(), Compound(), CubicSfqCoDel(), XCP()}
+// order the paper lists them.
+func BaselineProtocols() []Protocol { return scenario.BaselineProtocols() }
+
+// registryWith clones the default scenario registry and adds the given
+// protocols (the experiment's RemyCCs and any baseline not already present),
+// so every flow in an experiment spec resolves by scheme name.
+func registryWith(protocols ...Protocol) (*scenario.Registry, error) {
+	reg := scenario.Default().Clone()
+	for _, p := range protocols {
+		if reg.HasProtocol(p.Name) {
+			continue
+		}
+		if err := reg.RegisterProtocol(p); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
 }

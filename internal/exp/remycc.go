@@ -135,7 +135,7 @@ func intMax(a, b int) int {
 // file is missing — trains a replacement with the supplied spec, saves it
 // (best effort) and returns it. This keeps the experiments runnable from a
 // fresh checkout even without the pre-trained assets, at reduced fidelity.
-func LoadOrTrainRemyCC(assetsDir, name string, spec TrainSpec, logf func(string, ...interface{})) (*core.WhiskerTree, error) {
+func LoadOrTrainRemyCC(assetsDir, name string, spec TrainSpec, logf func(string, ...any)) (*core.WhiskerTree, error) {
 	path := filepath.Join(assetsDir, name)
 	if tree, err := core.LoadFile(path); err == nil {
 		return tree, nil

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
-	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -31,7 +30,7 @@ type RunConfig struct {
 	// asset is missing.
 	TrainBudget float64
 	// Logf, if non-nil, receives progress messages.
-	Logf func(format string, args ...interface{})
+	Logf func(format string, args ...any)
 }
 
 // DefaultRunConfig returns a medium-fidelity configuration: 16 runs of 30
@@ -66,7 +65,7 @@ func PaperRunConfig() RunConfig {
 	return c
 }
 
-func (c RunConfig) logf(format string, args ...interface{}) {
+func (c RunConfig) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
 	}
@@ -77,6 +76,11 @@ func (c RunConfig) workers() int {
 		return c.Workers
 	}
 	return 4
+}
+
+// runner returns the scenario runner all experiments execute through.
+func (c RunConfig) runner(reg *scenario.Registry) scenario.Runner {
+	return scenario.Runner{Registry: reg, Workers: c.workers()}
 }
 
 // SchemeResult aggregates one scheme's outcome over all runs of one
@@ -113,60 +117,51 @@ func (s SchemeResult) MedianThroughput() float64 { return stats.Median(s.Through
 // MedianDelay returns the median per-flow queueing delay in milliseconds.
 func (s SchemeResult) MedianDelay() float64 { return stats.Median(s.DelaysMs) }
 
-// scenarioBuilder constructs the scenario for one run of one protocol.
-// Implementations vary per experiment (different workloads, RTT mixes,
-// traces, and flow counts).
-type scenarioBuilder func(p Protocol, run int) (harness.Scenario, error)
+// specBuilder constructs the declarative scenario for one protocol.
+// Implementations vary per experiment (different workloads, RTT mixes, link
+// models, and flow counts); the runner adds the seed and repetition count.
+type specBuilder func(p Protocol) (scenario.Spec, error)
 
-// runScheme executes cfg.Runs independent runs of the scenario for one
-// protocol, in parallel, and aggregates per-flow results.
-func runScheme(p Protocol, build scenarioBuilder, cfg RunConfig) (SchemeResult, error) {
+// accumulate folds one repetition's per-flow results into the scheme result.
+func (s *SchemeResult) accumulate(res scenario.Result) {
+	for _, f := range res.Res.Flows {
+		if f.Metrics.OnDuration <= 0 {
+			continue
+		}
+		point := stats.Point{
+			DelayMs:        f.Metrics.QueueingDelayMs(),
+			ThroughputMbps: f.Metrics.Mbps(),
+		}
+		s.Points = append(s.Points, point)
+		s.ThroughputsMbps = append(s.ThroughputsMbps, point.ThroughputMbps)
+		s.DelaysMs = append(s.DelaysMs, point.DelayMs)
+		s.MeanRTTsMs = append(s.MeanRTTsMs, f.Metrics.AvgRTT*1e3)
+		s.LossEvents += f.Transport.LossEvents
+	}
+}
+
+// runScheme executes cfg.Runs independent repetitions of the spec for one
+// protocol through the scenario runner and aggregates per-flow results.
+func runScheme(p Protocol, build specBuilder, reg *scenario.Registry, cfg RunConfig) (SchemeResult, error) {
 	if err := p.Validate(); err != nil {
 		return SchemeResult{}, err
 	}
+	spec, err := build(p)
+	if err != nil {
+		return SchemeResult{}, err
+	}
+	if spec.Name == "" {
+		spec.Name = p.Name
+	}
+	spec.Seed = cfg.Seed
+	spec.Repetitions = cfg.Runs
+	results, err := cfg.runner(reg).RunOne(spec)
+	if err != nil {
+		return SchemeResult{}, err
+	}
 	result := SchemeResult{Protocol: p.Name}
-	type runOut struct {
-		res harness.Result
-		err error
-	}
-	outs := make([]runOut, cfg.Runs)
-	sem := make(chan struct{}, cfg.workers())
-	var wg sync.WaitGroup
-	for run := 0; run < cfg.Runs; run++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(run int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			scenario, err := build(p, run)
-			if err != nil {
-				outs[run] = runOut{err: err}
-				return
-			}
-			res, err := harness.Run(scenario, cfg.Seed+int64(run)*7919)
-			outs[run] = runOut{res: res, err: err}
-		}(run)
-	}
-	wg.Wait()
-
-	for _, out := range outs {
-		if out.err != nil {
-			return SchemeResult{}, out.err
-		}
-		for _, f := range out.res.Flows {
-			if f.Metrics.OnDuration <= 0 {
-				continue
-			}
-			point := stats.Point{
-				DelayMs:        f.Metrics.QueueingDelayMs(),
-				ThroughputMbps: f.Metrics.Mbps(),
-			}
-			result.Points = append(result.Points, point)
-			result.ThroughputsMbps = append(result.ThroughputsMbps, point.ThroughputMbps)
-			result.DelaysMs = append(result.DelaysMs, point.DelayMs)
-			result.MeanRTTsMs = append(result.MeanRTTsMs, f.Metrics.AvgRTT*1e3)
-			result.LossEvents += f.Transport.LossEvents
-		}
+	for _, res := range results {
+		result.accumulate(res)
 	}
 	result.summarize(1)
 	return result, nil
@@ -174,11 +169,11 @@ func runScheme(p Protocol, build scenarioBuilder, cfg RunConfig) (SchemeResult, 
 
 // runSchemes runs every protocol through the same builder and returns the
 // results in protocol order.
-func runSchemes(protocols []Protocol, build scenarioBuilder, cfg RunConfig) ([]SchemeResult, error) {
+func runSchemes(protocols []Protocol, build specBuilder, reg *scenario.Registry, cfg RunConfig) ([]SchemeResult, error) {
 	out := make([]SchemeResult, 0, len(protocols))
 	for _, p := range protocols {
 		cfg.logf("  running scheme %s (%d runs of %v)", p.Name, cfg.Runs, cfg.Duration)
-		r, err := runScheme(p, build, cfg)
+		r, err := runScheme(p, build, reg, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("exp: scheme %s: %w", p.Name, err)
 		}

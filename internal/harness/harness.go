@@ -75,6 +75,13 @@ type Scenario struct {
 	QueueCapacity int
 	// ECNThresholdPackets is the marking threshold for QueueECN.
 	ECNThresholdPackets int
+	// NewQueue, when set, builds the bottleneck queue for this run and takes
+	// precedence over Queue/QueueCapacity/ECNThresholdPackets. The scenario
+	// package compiles registry-resolved queue disciplines into this hook, so
+	// new AQMs plug in without touching the harness. Queues exposing a
+	// Start(sim.Time) method (the XCP router's control loop) are started
+	// automatically.
+	NewQueue func(engine *sim.Engine) (netsim.Queue, error)
 
 	MTU      int
 	Duration sim.Time
@@ -95,6 +102,9 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.Trace) == 0 && s.LinkRateBps <= 0 {
 		return fmt.Errorf("harness: need a link rate or a trace")
+	}
+	if s.QueueCapacity < 0 {
+		return fmt.Errorf("harness: negative queue capacity")
 	}
 	for i, f := range s.Flows {
 		if f.RTTMs < 0 {
@@ -147,48 +157,58 @@ func Run(s Scenario, seed int64) (Result, error) {
 		mtu = netsim.MTU
 	}
 
-	// Build the bottleneck queue.
+	// Build the bottleneck queue: through the caller-supplied factory when
+	// set, otherwise from the built-in queue kinds.
 	var queue netsim.Queue
-	var xcpQueue *aqm.XCPQueue
-	switch s.Queue {
-	case QueueDropTail:
-		q, err := aqm.NewDropTail(capacity)
+	if s.NewQueue != nil {
+		q, err := s.NewQueue(engine)
 		if err != nil {
 			return Result{}, err
 		}
-		queue = q
-	case QueueSfqCoDel:
-		q, err := aqm.NewSfqCoDel(1024, capacity)
-		if err != nil {
-			return Result{}, err
+		if q == nil {
+			return Result{}, fmt.Errorf("harness: NewQueue returned a nil queue")
 		}
 		queue = q
-	case QueueECN:
-		threshold := s.ECNThresholdPackets
-		if threshold <= 0 {
-			threshold = 65
+	} else {
+		switch s.Queue {
+		case QueueDropTail:
+			q, err := aqm.NewDropTail(capacity)
+			if err != nil {
+				return Result{}, err
+			}
+			queue = q
+		case QueueSfqCoDel:
+			q, err := aqm.NewSfqCoDel(1024, capacity)
+			if err != nil {
+				return Result{}, err
+			}
+			queue = q
+		case QueueECN:
+			threshold := s.ECNThresholdPackets
+			if threshold <= 0 {
+				threshold = 65
+			}
+			q, err := aqm.NewECNMarking(capacity, threshold)
+			if err != nil {
+				return Result{}, err
+			}
+			queue = q
+		case QueueXCP:
+			capBps := s.XCPCapacityBps
+			if capBps <= 0 {
+				capBps = s.LinkRateBps
+			}
+			if capBps <= 0 {
+				return Result{}, fmt.Errorf("harness: XCP queue needs a capacity estimate")
+			}
+			q, err := aqm.NewXCPQueue(engine, capacity, capBps)
+			if err != nil {
+				return Result{}, err
+			}
+			queue = q
+		default:
+			return Result{}, fmt.Errorf("harness: unknown queue kind %v", s.Queue)
 		}
-		q, err := aqm.NewECNMarking(capacity, threshold)
-		if err != nil {
-			return Result{}, err
-		}
-		queue = q
-	case QueueXCP:
-		capBps := s.XCPCapacityBps
-		if capBps <= 0 {
-			capBps = s.LinkRateBps
-		}
-		if capBps <= 0 {
-			return Result{}, fmt.Errorf("harness: XCP queue needs a capacity estimate")
-		}
-		q, err := aqm.NewXCPQueue(engine, capacity, capBps)
-		if err != nil {
-			return Result{}, err
-		}
-		queue = q
-		xcpQueue = q
-	default:
-		return Result{}, fmt.Errorf("harness: unknown queue kind %v", s.Queue)
 	}
 
 	network, err := netsim.NewNetwork(engine, netsim.Config{
@@ -256,10 +276,11 @@ func Run(s Scenario, seed int64) (Result, error) {
 		}
 	}
 
-	// Arm everything and run.
+	// Arm everything and run. Queues with an internal control loop (the XCP
+	// router) expose Start and are armed alongside the network.
 	network.Start(0)
-	if xcpQueue != nil {
-		xcpQueue.Start(0)
+	if starter, ok := queue.(interface{ Start(now sim.Time) }); ok {
+		starter.Start(0)
 	}
 	for _, fs := range flows {
 		fs.switcher.Start(0)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -161,18 +162,13 @@ func (c ConfigRange) Validate() error {
 	return nil
 }
 
-// workloadSpec converts the traffic model to a workload.Spec.
-func (c ConfigRange) workloadSpec() workload.Spec {
-	spec := workload.Spec{
-		Mode: c.OnMode,
-		Off:  workload.Exponential{MeanValue: c.MeanOffSecs},
-	}
+// scenarioWorkload converts the traffic model to its declarative form.
+func (c ConfigRange) scenarioWorkload() scenario.WorkloadSpec {
+	off := scenario.ExponentialDist(c.MeanOffSecs)
 	if c.OnMode == workload.ByTime {
-		spec.On = workload.Exponential{MeanValue: c.MeanOnSeconds}
-	} else {
-		spec.On = workload.Exponential{MeanValue: c.MeanOnBytes}
+		return scenario.ByTimeWorkload(scenario.ExponentialDist(c.MeanOnSeconds), off)
 	}
-	return spec
+	return scenario.ByBytesWorkload(scenario.ExponentialDist(c.MeanOnBytes), off)
 }
 
 // Specimen is one network drawn from the design range: a concrete number of

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -115,49 +114,54 @@ func NewEvaluator(obj stats.Objective) *Evaluator {
 	return &Evaluator{Objective: obj, Workers: defaultWorkers()}
 }
 
-// scenarioFor builds the harness scenario simulating the tree on one
+// specFor builds the declarative scenario simulating the tree on one
 // specimen. Every sender runs the same candidate RemyCC (the superrational
-// setting of §4); when rec is non-nil it observes every rule lookup.
-func scenarioFor(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.UsageRecorder) harness.Scenario {
-	flows := make([]harness.FlowSpec, spec.Senders)
-	for i := range flows {
-		flows[i] = harness.FlowSpec{
+// setting of §4), injected programmatically so that, when rec is non-nil, it
+// observes every rule lookup.
+func specFor(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.UsageRecorder) scenario.Spec {
+	return scenario.New(
+		scenario.WithName(spec.String()),
+		scenario.WithLink(spec.LinkRateBps),
+		scenario.WithQueue(scenario.QueueDropTail, cfg.QueueCapacityPackets),
+		scenario.WithDuration(cfg.SpecimenDuration.Seconds()),
+		scenario.WithSeed(spec.Seed),
+		scenario.WithFlow(scenario.FlowSpec{
+			Scheme:   "remy-candidate",
+			Count:    spec.Senders,
 			RTTMs:    spec.RTTMs,
-			Workload: cfg.workloadSpec(),
-			NewAlgorithm: func() cc.Algorithm {
+			Workload: cfg.scenarioWorkload(),
+			Algorithm: func() cc.Algorithm {
 				s := core.NewSender(tree)
 				s.Recorder = rec
 				return s
 			},
-		}
-	}
-	return harness.Scenario{
-		LinkRateBps:   spec.LinkRateBps,
-		Queue:         harness.QueueDropTail,
-		QueueCapacity: cfg.QueueCapacityPackets,
-		Duration:      cfg.SpecimenDuration,
-		Flows:         flows,
-	}
+		}),
+	)
 }
 
-// specimenScore runs one specimen and returns the summed per-flow utilities
-// and the number of flows that contributed.
-func (e *Evaluator) specimenScore(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.UsageRecorder) (float64, int, error) {
-	res, err := harness.Run(scenarioFor(tree, spec, cfg, rec), spec.Seed)
-	if err != nil {
-		return 0, 0, err
+// runner returns the scenario runner specimen evaluations execute through.
+func (e *Evaluator) runner() scenario.Runner {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
 	}
+	return scenario.Runner{Workers: workers}
+}
+
+// scoreResult converts one specimen run into the summed per-flow utilities
+// and the number of flows that contributed.
+func (e *Evaluator) scoreResult(res scenario.Result, spec Specimen) (float64, int) {
 	fairShare := spec.LinkRateBps / float64(spec.Senders)
 	var sum float64
 	flows := 0
-	for _, f := range res.Flows {
+	for _, f := range res.Res.Flows {
 		if f.Metrics.OnDuration <= 0 {
 			continue
 		}
 		flows++
 		sum += e.flowUtility(f.Metrics, fairShare)
 	}
-	return sum, flows, nil
+	return sum, flows
 }
 
 // flowUtility evaluates Equation 1 for one flow, normalizing throughput by
@@ -194,43 +198,30 @@ func (e *Evaluator) Evaluate(tree *core.WhiskerTree, specimens []Specimen, cfg C
 		UseCounts:     make([]int64, n),
 		MemorySamples: make([][]core.Memory, n),
 	}
-	type result struct {
-		sum   float64
-		flows int
-		usage *usageCollector
-		err   error
-	}
-	results := make([]result, len(specimens))
-	workers := e.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	// One spec per specimen, each with its own usage collector; the scenario
+	// runner spreads them over the worker pool and returns results in
+	// specimen order.
+	specs := make([]scenario.Spec, len(specimens))
+	usages := make([]*usageCollector, len(specimens))
 	for i, spec := range specimens {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, spec Specimen) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			usage := newUsageCollector(n)
-			sum, flows, err := e.specimenScore(tree, spec, cfg, usage)
-			results[i] = result{sum: sum, flows: flows, usage: usage, err: err}
-		}(i, spec)
+		usages[i] = newUsageCollector(n)
+		specs[i] = specFor(tree, spec, cfg, usages[i])
 	}
-	wg.Wait()
+	results, err := e.runner().RunAll(specs)
+	if err != nil {
+		return Evaluation{}, err
+	}
 
 	var total float64
-	for _, r := range results {
-		if r.err != nil {
-			return Evaluation{}, r.err
-		}
-		total += r.sum
-		eval.FlowsScored += r.flows
-		for idx, c := range r.usage.counts {
+	for i, r := range results {
+		sum, flows := e.scoreResult(r, specimens[i])
+		total += sum
+		eval.FlowsScored += flows
+		usage := usages[i]
+		for idx, c := range usage.counts {
 			eval.UseCounts[idx] += c
 			if len(eval.MemorySamples[idx]) < maxMemorySamplesPerWhisker {
-				eval.MemorySamples[idx] = append(eval.MemorySamples[idx], r.usage.samples[idx]...)
+				eval.MemorySamples[idx] = append(eval.MemorySamples[idx], usage.samples[idx]...)
 			}
 		}
 	}
@@ -253,41 +244,26 @@ func (e *Evaluator) ScoreMany(trees []*core.WhiskerTree, specimens []Specimen, c
 	if len(specimens) == 0 {
 		return nil, fmt.Errorf("optimizer: no specimens to evaluate")
 	}
+	// All (tree, specimen) pairs become one batch of specs sharing the
+	// runner's worker pool, exactly as the paper prescribes for comparing
+	// candidate actions on identical networks and seeds.
+	specs := make([]scenario.Spec, 0, len(trees)*len(specimens))
+	for _, tree := range trees {
+		for _, spec := range specimens {
+			specs = append(specs, specFor(tree, spec, cfg, nil))
+		}
+	}
+	results, err := e.runner().RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
 	sums := make([]float64, len(trees))
 	flows := make([]int, len(trees))
-	errs := make([]error, len(trees)*len(specimens))
-
-	workers := e.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for ti, tree := range trees {
-		for si, spec := range specimens {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(ti, si int, tree *core.WhiskerTree, spec Specimen) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				sum, nf, err := e.specimenScore(tree, spec, cfg, nil)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					errs[ti*len(specimens)+si] = err
-					return
-				}
-				sums[ti] += sum
-				flows[ti] += nf
-			}(ti, si, tree, spec)
-		}
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for i, r := range results {
+		ti, si := i/len(specimens), i%len(specimens)
+		sum, nf := e.scoreResult(r, specimens[si])
+		sums[ti] += sum
+		flows[ti] += nf
 	}
 	out := make([]float64, len(trees))
 	for i := range trees {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -120,14 +121,14 @@ func TestConfigRangeSampling(t *testing.T) {
 			t.Error("Specimen.String")
 		}
 	}
-	// Workload spec conversion.
-	spec := cfg.workloadSpec()
-	if spec.Mode != workload.ByTime || spec.On.Mean() != 5 || spec.Off.Mean() != 5 {
-		t.Errorf("workloadSpec = %v", spec)
+	// Workload spec conversion to the declarative scenario form.
+	spec := cfg.scenarioWorkload()
+	if spec.Mode != scenario.ModeByTime || spec.On.Mean != 5 || spec.Off.Mean != 5 {
+		t.Errorf("scenarioWorkload = %v", spec)
 	}
-	dc := DatacenterDesignRange().workloadSpec()
-	if dc.Mode != workload.ByBytes || dc.On.Mean() != 20e6 {
-		t.Errorf("datacenter workloadSpec = %v", dc)
+	dc := DatacenterDesignRange().scenarioWorkload()
+	if dc.Mode != scenario.ModeByBytes || dc.On.Mean != 20e6 {
+		t.Errorf("datacenter scenarioWorkload = %v", dc)
 	}
 }
 

@@ -57,7 +57,7 @@ type Remy struct {
 	// (0 = unlimited). The paper's general-purpose RemyCCs have 162–204.
 	MaxRules int
 	// Logf, if non-nil, receives progress lines.
-	Logf func(format string, args ...interface{})
+	Logf func(format string, args ...any)
 
 	epoch int
 }
@@ -75,7 +75,7 @@ func New(cfg ConfigRange, obj stats.Objective) *Remy {
 	}
 }
 
-func (r *Remy) logf(format string, args ...interface{}) {
+func (r *Remy) logf(format string, args ...any) {
 	if r.Logf != nil {
 		r.Logf(format, args...)
 	}

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/traces"
+)
+
+// splitmix64 is the SplitMix64 output function: a bijective mixer whose
+// outputs pass statistical tests even on sequential inputs. It keeps
+// per-repetition seeds decorrelated without any shared state, so seed
+// derivation is identical no matter which worker runs which repetition.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed returns the seed for one repetition of a spec. Repetition 0 uses
+// the base seed itself, so a single-repetition spec reproduces a direct
+// harness.Run with the same seed; later repetitions are mixed through
+// SplitMix64. The base is mixed before the repetition index is added so that
+// adjacent base seeds produce disjoint repetition streams (naive base+rep
+// would make seed(b, r) collide with seed(b+1, r-1)).
+func DeriveSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	return int64(splitmix64(splitmix64(uint64(base)) + uint64(rep)))
+}
+
+// traceSalt decorrelates the trace generator's stream from the workload
+// streams that consume the run seed (ASCII "tracegen").
+const traceSalt = 0x747261636567656e
+
+// deriveTraceSeed returns the seed for a repetition's synthesized link trace.
+func deriveTraceSeed(runSeed int64) int64 {
+	return int64(splitmix64(uint64(runSeed) ^ traceSalt))
+}
+
+// QueueKindFor resolves the effective queue kind of the spec: the explicit
+// Queue.Kind if set, otherwise the kind implied by the flows' protocols. It
+// is an error for two flows to imply different router-assisted kinds.
+func (s Spec) QueueKindFor(reg *Registry) (string, error) {
+	if s.Queue.Kind != "" {
+		return s.Queue.Kind, nil
+	}
+	kind := QueueDropTail
+	for _, f := range s.Flows {
+		// Programmatic flows bypass the registry entirely (mirroring
+		// Compile), so their Scheme is only a label and implies no queue.
+		if f.Scheme == "" || f.Algorithm != nil {
+			continue
+		}
+		p, err := reg.Protocol(f)
+		if err != nil {
+			return "", err
+		}
+		pk := p.QueueKind()
+		if pk == QueueDropTail {
+			continue
+		}
+		if kind != QueueDropTail && kind != pk {
+			return "", fmt.Errorf("scenario: spec %q mixes protocols implying %q and %q queues; set queue.kind explicitly", s.Name, kind, pk)
+		}
+		kind = pk
+	}
+	return kind, nil
+}
+
+// Compile resolves the spec's names against the registry and materializes the
+// executable scenario for one repetition, together with the repetition's
+// derived seed. Trace-driven link models synthesize a fresh trace per
+// repetition from a seed decorrelated with the run seed.
+func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	if err := s.Validate(); err != nil {
+		return harness.Scenario{}, 0, err
+	}
+	runSeed := DeriveSeed(s.Seed, rep)
+
+	out := harness.Scenario{
+		Duration: s.Duration(),
+		MTU:      s.MTU,
+	}
+
+	// Link: explicit trace > trace model > fixed rate.
+	packetBytes := s.MTU
+	if packetBytes <= 0 {
+		packetBytes = netsim.MTU
+	}
+	switch {
+	case len(s.Link.Trace) > 0:
+		out.Trace = s.Link.Trace
+		out.TraceLoop = s.Link.TraceLoop
+	case s.Link.Model != "" && s.Link.Model != "fixed":
+		model, err := reg.LinkModel(s.Link.Model)
+		if err != nil {
+			return harness.Scenario{}, 0, err
+		}
+		trace, err := model.Generate(s.Duration(), sim.NewRNG(deriveTraceSeed(runSeed)))
+		if err != nil {
+			return harness.Scenario{}, 0, fmt.Errorf("scenario: spec %q link model %q: %w", s.Name, s.Link.Model, err)
+		}
+		out.Trace = trace
+		out.TraceLoop = s.Link.TraceLoop
+		if model.PacketBytes > 0 {
+			packetBytes = model.PacketBytes
+		}
+	default:
+		out.LinkRateBps = s.Link.RateBps
+	}
+
+	// Capacity estimate for rate-aware queues (XCP): explicit override, then
+	// the fixed rate, then the trace's long-term average.
+	capacityBps := s.Link.XCPCapacityBps
+	if capacityBps <= 0 {
+		capacityBps = out.LinkRateBps
+	}
+	if capacityBps <= 0 && len(out.Trace) > 0 {
+		capacityBps = traces.AverageRateBps(out.Trace, packetBytes, s.Duration())
+	}
+	out.XCPCapacityBps = capacityBps
+
+	// Queue: resolved through the registry and built per run, so a new AQM is
+	// a registry entry rather than a harness change.
+	kind, err := s.QueueKindFor(reg)
+	if err != nil {
+		return harness.Scenario{}, 0, err
+	}
+	factory, err := reg.Queue(kind)
+	if err != nil {
+		return harness.Scenario{}, 0, err
+	}
+	queueSpec := s.Queue
+	out.NewQueue = func(engine *sim.Engine) (netsim.Queue, error) {
+		return factory(queueSpec, QueueEnv{Engine: engine, CapacityBps: capacityBps})
+	}
+
+	// Flows: expand counts and resolve schemes.
+	for i, f := range s.Flows {
+		alg := f.Algorithm
+		name := f.Scheme
+		if alg == nil {
+			p, err := reg.Protocol(f)
+			if err != nil {
+				return harness.Scenario{}, 0, fmt.Errorf("scenario: spec %q flow %d: %w", s.Name, i, err)
+			}
+			alg = p.New
+			name = p.Name
+		}
+		w, err := f.Workload.Compile()
+		if err != nil {
+			return harness.Scenario{}, 0, fmt.Errorf("scenario: spec %q flow %d (%s): %w", s.Name, i, name, err)
+		}
+		count := f.Count
+		if count < 1 {
+			count = 1
+		}
+		for c := 0; c < count; c++ {
+			out.Flows = append(out.Flows, harness.FlowSpec{
+				RTTMs:        f.RTTMs,
+				Workload:     w,
+				NewAlgorithm: alg,
+			})
+		}
+	}
+
+	out.OnDeliver = s.OnDeliver
+	return out, runSeed, nil
+}

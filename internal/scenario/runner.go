@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Result is the outcome of one repetition of one spec.
+type Result struct {
+	// SpecIndex and Rep identify the run within the batch.
+	SpecIndex int
+	Rep       int
+	// SpecName is the spec's label.
+	SpecName string
+	// Seed is the derived seed the repetition ran with.
+	Seed int64
+	// Res holds the per-flow results and bottleneck counters.
+	Res harness.Result
+	// Throughput summarizes per-flow throughput in Mbps over the flows that
+	// were on at least once; Delay likewise for queueing delay in ms.
+	Throughput stats.Summary
+	Delay      stats.Summary
+	// Err is the run's failure, if any; the other result fields are zero.
+	Err error
+}
+
+// summarize fills the derived summaries from the flow results.
+func (r *Result) summarize() {
+	var tputs, delays []float64
+	for _, f := range r.Res.Flows {
+		if f.Metrics.OnDuration <= 0 {
+			continue
+		}
+		tputs = append(tputs, f.Metrics.Mbps())
+		delays = append(delays, f.Metrics.QueueingDelayMs())
+	}
+	r.Throughput = stats.Summarize(tputs)
+	r.Delay = stats.Summarize(delays)
+}
+
+// Runner executes batches of Specs across a worker pool, one independent
+// sim.Engine per repetition (the engine is single-threaded by design;
+// parallelism comes from running many engines).
+type Runner struct {
+	// Registry resolves spec names; nil means Default().
+	Registry *Registry
+	// Workers bounds concurrent simulations; <= 0 means NumCPU-1 (at least 1).
+	Workers int
+	// Logf, if non-nil, receives progress messages.
+	Logf func(format string, args ...any)
+}
+
+func (r Runner) registry() *Registry {
+	if r.Registry != nil {
+		return r.Registry
+	}
+	return Default()
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (r Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// run executes one (spec, repetition) unit.
+func (r Runner) run(specIndex, rep int, spec *Spec) Result {
+	out := Result{SpecIndex: specIndex, Rep: rep, SpecName: spec.Name}
+	scn, seed, err := spec.Compile(r.registry(), rep)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Seed = seed
+	res, err := harness.Run(scn, seed)
+	if err != nil {
+		out.Err = fmt.Errorf("scenario: spec %q rep %d: %w", spec.Name, rep, err)
+		return out
+	}
+	out.Res = res
+	out.summarize()
+	return out
+}
+
+// Stream executes every repetition of every spec across the worker pool and
+// streams results over the returned channel as they complete. Completion
+// order depends on scheduling, but each Result is deterministic for its
+// (spec, rep) pair; use RunAll for a deterministic ordering. The channel
+// closes after the last result and MUST be drained: abandoning it early
+// leaves the producer and worker goroutines blocked on their sends.
+func (r Runner) Stream(specs []Spec) <-chan Result {
+	out := make(chan Result)
+	go func() {
+		defer close(out)
+		sem := make(chan struct{}, r.workers())
+		var wg sync.WaitGroup
+		for si := range specs {
+			spec := &specs[si]
+			reps := spec.Reps()
+			r.logf("scenario: running %q (%d repetitions)", spec.Name, reps)
+			for rep := 0; rep < reps; rep++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(si, rep int, spec *Spec) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					out <- r.run(si, rep, spec)
+				}(si, rep, spec)
+			}
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// RunAll executes every repetition of every spec and returns the results
+// ordered by (spec index, repetition) — a deterministic order regardless of
+// worker count. The first error encountered (in that order) is returned with
+// the partial results.
+func (r Runner) RunAll(specs []Spec) ([]Result, error) {
+	offsets := make([]int, len(specs))
+	total := 0
+	for i := range specs {
+		offsets[i] = total
+		total += specs[i].Reps()
+	}
+	results := make([]Result, total)
+	for res := range r.Stream(specs) {
+		results[offsets[res.SpecIndex]+res.Rep] = res
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return results, res.Err
+		}
+	}
+	return results, nil
+}
+
+// RunOne executes a single spec (all its repetitions) and returns its results
+// in repetition order.
+func (r Runner) RunOne(spec Spec) ([]Result, error) {
+	return r.RunAll([]Spec{spec})
+}

@@ -1,0 +1,282 @@
+// Package scenario is the one way to describe and execute a simulation run.
+//
+// A Spec is a fully declarative description of a run — topology (link rate or
+// cellular trace model), bottleneck queue discipline, per-flow protocol and
+// workload, duration, seed and repetition count. Specs round-trip through
+// JSON, so experiment suites can be files instead of binaries, and are built
+// either with functional options (scenario.New) or by decoding a file
+// (scenario.ReadFile).
+//
+// Names in a Spec (protocol schemes, queue kinds, link models) are resolved
+// against a Registry; the Default registry knows every scheme, AQM and
+// cellular model in the repository, and experiments clone it to add RemyCCs
+// trained in memory. A Runner executes a batch of Specs across a worker pool
+// — one sim.Engine per run, as the engine requires — with deterministic
+// per-repetition seed derivation, so the same Spec and seed produce identical
+// results regardless of worker count.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// LinkSpec describes the bottleneck link.
+type LinkSpec struct {
+	// Model selects the link model: "" or "fixed" for a constant-rate link,
+	// or a registered trace model ("verizon", "att") that synthesizes a fresh
+	// delivery-opportunity trace per repetition.
+	Model string `json:"model,omitempty"`
+	// RateBps is the link rate for the fixed model.
+	RateBps float64 `json:"rate_bps,omitempty"`
+	// TraceLoop repeats a trace when the run outlasts it.
+	TraceLoop bool `json:"trace_loop,omitempty"`
+	// XCPCapacityBps overrides the capacity advertised to an XCP bottleneck;
+	// trace-driven links default to the trace's long-term average rate.
+	XCPCapacityBps float64 `json:"xcp_capacity_bps,omitempty"`
+
+	// Trace, when non-empty, is an explicit delivery-opportunity schedule
+	// that bypasses the model (programmatic use; not part of the JSON form).
+	Trace []sim.Time `json:"-"`
+}
+
+// QueueSpec describes the bottleneck queue discipline.
+type QueueSpec struct {
+	// Kind names a registered queue discipline ("droptail", "sfqcodel",
+	// "xcp", "ecn"). Empty means the default implied by the flows' protocols
+	// ("droptail" when no protocol asks for router assistance).
+	Kind string `json:"kind,omitempty"`
+	// CapacityPackets is the buffer size; 0 means 1000 packets.
+	CapacityPackets int `json:"capacity_packets,omitempty"`
+	// ECNThresholdPackets is the marking threshold for the "ecn" kind;
+	// 0 means 65 packets.
+	ECNThresholdPackets int `json:"ecn_threshold_packets,omitempty"`
+}
+
+// FlowSpec describes one sender-receiver pair (or Count identical pairs).
+type FlowSpec struct {
+	// Scheme names a registered protocol ("newreno", "cubic", "remy", ...).
+	Scheme string `json:"scheme"`
+	// RemyCC is the rule-table JSON path for file-driven "remy" flows.
+	RemyCC string `json:"remycc,omitempty"`
+	// Count expands this entry into Count identical flows; 0 means 1.
+	Count int `json:"count,omitempty"`
+	// RTTMs is the two-way propagation delay in milliseconds.
+	RTTMs float64 `json:"rtt_ms"`
+	// Workload is the on/off offered-load process.
+	Workload WorkloadSpec `json:"workload"`
+
+	// Algorithm, when set, overrides the registry lookup with a programmatic
+	// constructor (the optimizer injects usage-recording senders this way).
+	// It is not part of the JSON form.
+	Algorithm func() cc.Algorithm `json:"-"`
+}
+
+// Spec is a complete declarative simulation scenario.
+type Spec struct {
+	// Name labels the spec in results and logs.
+	Name string `json:"name,omitempty"`
+	// Link is the bottleneck link description.
+	Link LinkSpec `json:"link"`
+	// Queue is the bottleneck queue discipline.
+	Queue QueueSpec `json:"queue,omitempty"`
+	// Flows lists the senders.
+	Flows []FlowSpec `json:"flows"`
+	// DurationSeconds is the simulated length of each repetition.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Seed is the base random seed; repetition seeds derive from it.
+	Seed int64 `json:"seed,omitempty"`
+	// Repetitions is the number of independent runs; 0 means 1.
+	Repetitions int `json:"repetitions,omitempty"`
+	// MTU is the packet size in bytes; 0 means the simulator default.
+	MTU int `json:"mtu,omitempty"`
+
+	// OnDeliver, if set, observes every packet delivered to a receiver
+	// (sequence plots). Invoked from the worker goroutine executing the run,
+	// so it is only allowed on single-repetition specs (Validate rejects it
+	// otherwise — with several repetitions in flight the callback would race
+	// against itself). Specs batched into one Runner call must not share a
+	// stateful hook either: each spec runs on its own worker. Not part of
+	// the JSON form.
+	OnDeliver func(p *netsim.Packet, now sim.Time) `json:"-"`
+}
+
+// Duration returns the per-repetition simulated duration.
+func (s Spec) Duration() sim.Time { return sim.FromSeconds(s.DurationSeconds) }
+
+// Reps returns the effective repetition count (at least 1).
+func (s Spec) Reps() int {
+	if s.Repetitions < 1 {
+		return 1
+	}
+	return s.Repetitions
+}
+
+// NumFlows returns the total flow count after expanding Count fields.
+func (s Spec) NumFlows() int {
+	n := 0
+	for _, f := range s.Flows {
+		c := f.Count
+		if c < 1 {
+			c = 1
+		}
+		n += c
+	}
+	return n
+}
+
+// Validate reports structural errors that do not require a registry (name
+// resolution happens at compile time).
+func (s Spec) Validate() error {
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("scenario: spec %q has no flows", s.Name)
+	}
+	if s.DurationSeconds <= 0 {
+		return fmt.Errorf("scenario: spec %q needs a positive duration", s.Name)
+	}
+	if s.Repetitions < 0 {
+		return fmt.Errorf("scenario: spec %q has negative repetitions", s.Name)
+	}
+	if s.OnDeliver != nil && s.Reps() > 1 {
+		return fmt.Errorf("scenario: spec %q sets OnDeliver with %d repetitions; the hook would race across workers (use one repetition per spec)", s.Name, s.Reps())
+	}
+	fixed := s.Link.Model == "" || s.Link.Model == "fixed"
+	if fixed && len(s.Link.Trace) == 0 && s.Link.RateBps <= 0 {
+		return fmt.Errorf("scenario: spec %q needs a link rate, trace or link model", s.Name)
+	}
+	for i, f := range s.Flows {
+		if f.Scheme == "" && f.Algorithm == nil {
+			return fmt.Errorf("scenario: spec %q flow %d has no scheme", s.Name, i)
+		}
+		if f.RTTMs < 0 {
+			return fmt.Errorf("scenario: spec %q flow %d has negative RTT", s.Name, i)
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("scenario: spec %q flow %d has negative count", s.Name, i)
+		}
+		if err := f.Workload.Validate(); err != nil {
+			return fmt.Errorf("scenario: spec %q flow %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Marshal encodes the spec as indented JSON.
+func (s Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Unmarshal decodes a spec from JSON.
+func Unmarshal(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	return s, nil
+}
+
+// ReadFile loads one spec from a JSON file.
+func ReadFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Unmarshal(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteFile saves the spec as a JSON file.
+func (s Spec) WriteFile(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Option mutates a Spec under construction.
+type Option func(*Spec)
+
+// New builds a Spec from functional options. The zero spec has a DropTail
+// queue, one repetition and no flows; callers add at least one flow, a
+// duration and a link.
+func New(opts ...Option) Spec {
+	var s Spec
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// WithName labels the spec.
+func WithName(name string) Option { return func(s *Spec) { s.Name = name } }
+
+// WithLink sets a fixed-rate bottleneck.
+func WithLink(rateBps float64) Option {
+	return func(s *Spec) { s.Link.Model = ""; s.Link.RateBps = rateBps }
+}
+
+// WithLinkModel selects a registered trace-driven link model ("verizon",
+// "att"); a fresh trace is synthesized per repetition.
+func WithLinkModel(model string) Option {
+	return func(s *Spec) { s.Link.Model = model }
+}
+
+// WithTrace sets an explicit delivery-opportunity trace.
+func WithTrace(trace []sim.Time, loop bool) Option {
+	return func(s *Spec) { s.Link.Trace = trace; s.Link.TraceLoop = loop }
+}
+
+// WithXCPCapacity overrides the capacity advertised to an XCP bottleneck.
+func WithXCPCapacity(bps float64) Option {
+	return func(s *Spec) { s.Link.XCPCapacityBps = bps }
+}
+
+// WithQueue sets the bottleneck queue kind and capacity.
+func WithQueue(kind string, capacityPackets int) Option {
+	return func(s *Spec) { s.Queue.Kind = kind; s.Queue.CapacityPackets = capacityPackets }
+}
+
+// WithECNThreshold sets the marking threshold for the "ecn" queue kind.
+func WithECNThreshold(packets int) Option {
+	return func(s *Spec) { s.Queue.ECNThresholdPackets = packets }
+}
+
+// WithDuration sets the per-repetition simulated duration in seconds.
+func WithDuration(seconds float64) Option {
+	return func(s *Spec) { s.DurationSeconds = seconds }
+}
+
+// WithSeed sets the base random seed.
+func WithSeed(seed int64) Option { return func(s *Spec) { s.Seed = seed } }
+
+// WithRepetitions sets the number of independent runs.
+func WithRepetitions(n int) Option { return func(s *Spec) { s.Repetitions = n } }
+
+// WithMTU sets the packet size in bytes.
+func WithMTU(mtu int) Option { return func(s *Spec) { s.MTU = mtu } }
+
+// WithFlow appends one flow entry.
+func WithFlow(f FlowSpec) Option {
+	return func(s *Spec) { s.Flows = append(s.Flows, f) }
+}
+
+// WithFlows appends n identical flows running the named scheme.
+func WithFlows(n int, scheme string, rttMs float64, w WorkloadSpec) Option {
+	return func(s *Spec) {
+		s.Flows = append(s.Flows, FlowSpec{Scheme: scheme, Count: n, RTTMs: rttMs, Workload: w})
+	}
+}
+
+// WithOnDeliver installs a delivery observer (programmatic use only).
+func WithOnDeliver(fn func(p *netsim.Packet, now sim.Time)) Option {
+	return func(s *Spec) { s.OnDeliver = fn }
+}
