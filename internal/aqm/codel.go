@@ -38,6 +38,23 @@ type CoDel struct {
 	dropCount      int
 	lastDropCount  int
 	dropping       bool
+
+	// dropHook, when set, observes every packet CoDel drops at dequeue time
+	// (the network wires it to its packet pool; enqueue-time tail drops are
+	// returned to the caller instead, which releases them itself).
+	dropHook func(*netsim.Packet)
+}
+
+// SetDropHook installs the dequeue-time drop observer.
+func (q *CoDel) SetDropHook(fn func(*netsim.Packet)) { q.dropHook = fn }
+
+// dropped counts one dequeue-time drop and hands the packet to the hook.
+func (q *CoDel) dropped(p *netsim.Packet) {
+	q.drops++
+	q.dropCount++
+	if q.dropHook != nil {
+		q.dropHook(p)
+	}
 }
 
 // NewCoDel returns a CoDel queue with the given packet capacity and the
@@ -116,8 +133,7 @@ func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
 			q.dropping = false
 		} else {
 			for now >= q.dropNext && q.dropping {
-				q.drops++
-				q.dropCount++
+				q.dropped(p)
 				p, okToDequeue = q.doDequeue(now)
 				if p == nil {
 					q.dropping = false
@@ -133,8 +149,7 @@ func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
 	} else if !okToDequeue && (now-q.dropNext < q.interval || now-q.firstAboveTime >= q.interval) {
 		// Enter the dropping state: drop this packet and set the next drop
 		// time by the control law.
-		q.drops++
-		q.dropCount++
+		q.dropped(p)
 		p, _ = q.doDequeue(now)
 		q.dropping = true
 		if p == nil {

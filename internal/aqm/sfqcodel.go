@@ -55,6 +55,13 @@ func NewSfqCoDelWithParams(buckets, capacity int, target, interval sim.Time) (*S
 	return q, nil
 }
 
+// SetDropHook installs the dequeue-time drop observer on every bucket.
+func (q *SfqCoDel) SetDropHook(fn func(*netsim.Packet)) {
+	for _, b := range q.buckets {
+		b.SetDropHook(fn)
+	}
+}
+
 // bucketFor hashes a flow id onto a bucket. With far fewer flows than
 // buckets (the common case) every flow gets its own queue, which is the
 // behaviour the paper's experiments rely on.

@@ -2,6 +2,7 @@ package cc
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -50,20 +51,23 @@ type sentRecord struct {
 // defers all congestion decisions to its Algorithm. One Transport drives one
 // flow through a netsim.Port.
 type Transport struct {
-	engine *sim.Engine
-	port   *netsim.Port
-	algo   Algorithm
-	mss    int
+	port *netsim.Port
+	algo Algorithm
+	mss  int
 
 	active bool
 
-	// Sequence state.
+	// Sequence state. outstanding maps by value: a sentRecord is three words,
+	// and value storage avoids allocating a record per transmitted packet.
 	nextSeq     int64
 	cumAck      int64
-	outstanding map[int64]*sentRecord
+	outstanding map[int64]sentRecord
 	// retransmitQueue holds sequence numbers that must be resent before any
 	// new data.
 	retransmitQueue []int64
+	// lostScratch is reused by queuePresumedLost to sort loss candidates
+	// without allocating on every recovery event.
+	lostScratch []int64
 
 	// Loss detection.
 	dupAcks      int
@@ -75,16 +79,19 @@ type Transport struct {
 	highestAcked int64
 
 	// RTT estimation (RFC 6298).
-	srtt     sim.Time
-	rttvar   sim.Time
-	rto      sim.Time
-	hasRTT   bool
-	minRTT   sim.Time
-	rtoTimer sim.EventID
+	srtt   sim.Time
+	rttvar sim.Time
+	rto    sim.Time
+	hasRTT bool
+	minRTT sim.Time
+	// rtoTimer and paceTimer are reschedulable timers created once per
+	// transport, so the constant rearm/cancel churn of the RTO and pacing
+	// paths allocates nothing.
+	rtoTimer *sim.Timer
 
 	// Pacing.
 	lastSend    sim.Time
-	paceTimer   sim.EventID
+	paceTimer   *sim.Timer
 	pacePending bool
 
 	stats Stats
@@ -105,14 +112,19 @@ func NewTransport(engine *sim.Engine, port *netsim.Port, algo Algorithm, mss int
 	if mss <= 0 {
 		mss = netsim.MTU
 	}
-	return &Transport{
-		engine:      engine,
+	t := &Transport{
 		port:        port,
 		algo:        algo,
 		mss:         mss,
-		outstanding: make(map[int64]*sentRecord),
+		outstanding: make(map[int64]sentRecord),
 		rto:         initialRTO,
-	}, nil
+	}
+	t.rtoTimer = engine.NewTimer(t.onRTO)
+	t.paceTimer = engine.NewTimer(func(fireAt sim.Time) {
+		t.pacePending = false
+		t.maybeSend(fireAt)
+	})
+	return t, nil
 }
 
 // Algorithm returns the congestion-control algorithm driving this transport.
@@ -137,8 +149,8 @@ func (t *Transport) StartFlow(now sim.Time) {
 	t.active = true
 	t.nextSeq = 0
 	t.cumAck = 0
-	t.outstanding = make(map[int64]*sentRecord)
-	t.retransmitQueue = nil
+	clear(t.outstanding)
+	t.retransmitQueue = t.retransmitQueue[:0]
 	t.dupAcks = 0
 	t.inRecovery = false
 	t.highestAcked = -1
@@ -158,11 +170,11 @@ func (t *Transport) StartFlow(now sim.Time) {
 // state is discarded.
 func (t *Transport) StopFlow(now sim.Time) {
 	t.active = false
-	t.engine.Cancel(t.rtoTimer)
-	t.engine.Cancel(t.paceTimer)
+	t.rtoTimer.Stop()
+	t.paceTimer.Stop()
 	t.pacePending = false
-	t.outstanding = make(map[int64]*sentRecord)
-	t.retransmitQueue = nil
+	clear(t.outstanding)
+	t.retransmitQueue = t.retransmitQueue[:0]
 }
 
 // effectiveWindow clamps the algorithm's window to at least one packet.
@@ -200,10 +212,7 @@ func (t *Transport) armPacer(now, at sim.Time) {
 		return
 	}
 	t.pacePending = true
-	t.paceTimer = t.engine.Schedule(at, func(fireAt sim.Time) {
-		t.pacePending = false
-		t.maybeSend(fireAt)
-	})
+	t.paceTimer.Schedule(at)
 }
 
 // sendOne transmits the next packet: a queued retransmission if any,
@@ -215,8 +224,9 @@ func (t *Transport) sendOne(now sim.Time) {
 	for len(t.retransmitQueue) > 0 {
 		cand := t.retransmitQueue[0]
 		t.retransmitQueue = t.retransmitQueue[1:]
-		if rec := t.outstanding[cand]; rec != nil {
+		if rec, ok := t.outstanding[cand]; ok {
 			rec.queued = false
+			t.outstanding[cand] = rec
 			seq = cand
 			retransmit = true
 			break
@@ -226,20 +236,18 @@ func (t *Transport) sendOne(now sim.Time) {
 		seq = t.nextSeq
 		t.nextSeq++
 	}
-	p := &netsim.Packet{
-		Seq:         seq,
-		Size:        t.mss,
-		SentAt:      now,
-		FirstSentAt: now,
-		Retransmit:  retransmit,
-	}
+	p := t.port.NewPacket()
+	p.Seq = seq
+	p.Size = t.mss
+	p.SentAt = now
+	p.FirstSentAt = now
+	p.Retransmit = retransmit
 	if stamper, ok := t.algo.(PacketStamper); ok {
 		stamper.StampPacket(p, now)
 	}
-	rec := t.outstanding[seq]
-	if rec == nil {
-		rec = &sentRecord{sentAt: now}
-		t.outstanding[seq] = rec
+	rec, ok := t.outstanding[seq]
+	if !ok {
+		rec = sentRecord{sentAt: now}
 	} else {
 		rec.sentAt = now
 		rec.retransmitted = true
@@ -248,6 +256,7 @@ func (t *Transport) sendOne(now sim.Time) {
 		rec.retransmitted = true
 		t.stats.Retransmissions++
 	}
+	t.outstanding[seq] = rec
 	t.stats.PacketsSent++
 	t.lastSend = now
 	if t.OnSend != nil {
@@ -258,8 +267,7 @@ func (t *Transport) sendOne(now sim.Time) {
 }
 
 func (t *Transport) armRTO(now sim.Time) {
-	t.engine.Cancel(t.rtoTimer)
-	t.rtoTimer = t.engine.Schedule(now+t.rto, t.onRTO)
+	t.rtoTimer.Schedule(now + t.rto)
 }
 
 func (t *Transport) onRTO(now sim.Time) {
@@ -271,8 +279,8 @@ func (t *Transport) onRTO(now sim.Time) {
 	t.algo.OnTimeout(now)
 	// Go-back-N: everything beyond the cumulative ack is considered lost and
 	// will be resent as new data.
-	t.outstanding = make(map[int64]*sentRecord)
-	t.retransmitQueue = nil
+	clear(t.outstanding)
+	t.retransmitQueue = t.retransmitQueue[:0]
 	t.nextSeq = t.cumAck
 	t.dupAcks = 0
 	t.inRecovery = false
@@ -328,9 +336,9 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 	}
 	t.stats.AcksReceived++
 
-	rec := t.outstanding[ack.Seq]
+	rec, wasOutstanding := t.outstanding[ack.Seq]
 	var rttSample sim.Time
-	if rec != nil && !rec.retransmitted {
+	if wasOutstanding && !rec.retransmitted {
 		rttSample = now - ack.SentAt
 		t.updateRTT(rttSample)
 	}
@@ -395,7 +403,7 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 	if len(t.outstanding) > 0 {
 		t.armRTO(now)
 	} else {
-		t.engine.Cancel(t.rtoTimer)
+		t.rtoTimer.Stop()
 	}
 	t.maybeSend(now)
 }
@@ -404,12 +412,15 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 // under a SACK-style rule: at least three higher sequence numbers have
 // already been acknowledged, and the packet has not been (re)sent within the
 // last smoothed RTT (to avoid retransmitting data that is merely still in
-// flight).
+// flight). Candidates are queued in sequence order — never in map iteration
+// order, which would make retransmission order (and therefore whole
+// simulations) nondeterministic across runs of the same seed.
 func (t *Transport) queuePresumedLost(now sim.Time) {
 	staleAfter := t.srtt
 	if staleAfter <= 0 {
 		staleAfter = t.rto
 	}
+	lost := t.lostScratch[:0]
 	for seq, rec := range t.outstanding {
 		if rec.queued || seq+3 > t.highestAcked {
 			continue
@@ -417,16 +428,22 @@ func (t *Transport) queuePresumedLost(now sim.Time) {
 		if now-rec.sentAt < staleAfter {
 			continue
 		}
+		lost = append(lost, seq)
+	}
+	slices.Sort(lost)
+	for _, seq := range lost {
 		t.queueRetransmit(seq)
 	}
+	t.lostScratch = lost[:0]
 }
 
 func (t *Transport) queueRetransmit(seq int64) {
-	rec := t.outstanding[seq]
-	if rec == nil || rec.queued {
+	rec, ok := t.outstanding[seq]
+	if !ok || rec.queued {
 		return
 	}
 	rec.queued = true
+	t.outstanding[seq] = rec
 	t.retransmitQueue = append(t.retransmitQueue, seq)
 }
 

@@ -39,12 +39,13 @@ func (x *XCP) Reset(now sim.Time) {
 }
 
 // StampPacket implements cc.PacketStamper: every data packet carries the
-// sender's current window and RTT estimate in its congestion header.
+// sender's current window and RTT estimate in its congestion header. The
+// header is obtained through EnsureXCP so pooled packets reuse theirs.
 func (x *XCP) StampPacket(p *netsim.Packet, now sim.Time) {
-	p.XCP = &netsim.XCPHeader{
-		CwndBytes: x.cwndBytes,
-		RTT:       x.srtt,
-	}
+	hdr := p.EnsureXCP()
+	hdr.CwndBytes = x.cwndBytes
+	hdr.RTT = x.srtt
+	hdr.Feedback = 0
 }
 
 // OnAck implements cc.Algorithm: apply the router-allocated feedback

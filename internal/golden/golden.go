@@ -1,0 +1,248 @@
+// Package golden is the equivalence harness that guards rewrites of the
+// simulation hot path. It runs a fixed battery of quick scenarios — the
+// paper's three topologies (dumbbell, cellular, datacenter) across every
+// registered protocol — at fixed seeds, and reduces each run to a summary
+// made exclusively of integer counters (packets, bytes, microsecond-exact
+// RTT sums). Integer-only summaries marshal to byte-identical JSON on every
+// platform, so a fixture recorded before an optimization and compared after
+// it proves bit-identical simulation behavior, not merely "close" behavior.
+//
+// Fixtures live in testdata/ and are regenerated with
+//
+//	go test ./internal/golden -run TestGolden -update
+//
+// Regenerating fixtures is only legitimate when simulation *behavior* is
+// meant to change (a scheme fix, a new default); performance work must keep
+// them byte-identical.
+package golden
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/exp"
+	"repro/internal/scenario"
+)
+
+// FlowSummary is one flow's integer-exact outcome. Every field is a counter
+// or a microsecond total taken straight from the transport, so equality here
+// means the flow saw the identical sequence of sends, acknowledgments,
+// losses and timeouts.
+type FlowSummary struct {
+	Scheme          string `json:"scheme"`
+	PacketsSent     int64  `json:"packets_sent"`
+	Retransmissions int64  `json:"retransmissions"`
+	Timeouts        int64  `json:"timeouts"`
+	LossEvents      int64  `json:"loss_events"`
+	AcksReceived    int64  `json:"acks_received"`
+	BytesAcked      int64  `json:"bytes_acked"`
+	RTTSamples      int64  `json:"rtt_samples"`
+	RTTSumUs        int64  `json:"rtt_sum_us"`
+	MinRTTUs        int64  `json:"min_rtt_us"`
+	MaxRTTUs        int64  `json:"max_rtt_us"`
+	OnPeriods       int    `json:"on_periods"`
+}
+
+// RunSummary is one repetition's outcome: bottleneck counters plus each
+// flow's summary in attachment order.
+type RunSummary struct {
+	Rep       int           `json:"rep"`
+	Seed      int64         `json:"seed"`
+	Offered   int64         `json:"offered"`
+	Delivered int64         `json:"delivered"`
+	Dropped   int64         `json:"dropped"`
+	Flows     []FlowSummary `json:"flows"`
+}
+
+// SchemeSummary is one protocol's runs on one topology.
+type SchemeSummary struct {
+	Scheme string       `json:"scheme"`
+	Runs   []RunSummary `json:"runs"`
+}
+
+// Summary is the full fixture for one topology.
+type Summary struct {
+	Scenario string          `json:"scenario"`
+	Schemes  []SchemeSummary `json:"schemes"`
+}
+
+// Encode renders a summary as the canonical fixture bytes (indented JSON
+// with a trailing newline). Integer-only fields make the encoding
+// deterministic.
+func (s Summary) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// schemeCase names one protocol to run on a topology, with the RemyCC rule
+// table it needs (if any).
+type schemeCase struct {
+	scheme string
+	remycc string // asset file name for the "remy" scheme
+}
+
+// ScenarioSet is one topology's battery: a name (and fixture file stem) plus
+// a spec builder per scheme.
+type ScenarioSet struct {
+	Name    string
+	schemes []schemeCase
+	build   func(c schemeCase) scenario.Spec
+}
+
+// Fixture returns the fixture file name for this set.
+func (s ScenarioSet) Fixture() string { return s.Name + ".json" }
+
+// goldenSeed is the fixed base seed every golden spec runs with.
+const goldenSeed = 20130812 // the paper's publication week
+
+func remyAsset(name string) string {
+	return filepath.Join(exp.FindAssetsDir(), name)
+}
+
+func flowFor(c schemeCase, count int, rttMs float64, w scenario.WorkloadSpec) scenario.FlowSpec {
+	return scenario.FlowSpec{
+		Scheme:   c.scheme,
+		RemyCC:   c.remycc,
+		Count:    count,
+		RTTMs:    rttMs,
+		Workload: w,
+	}
+}
+
+// quickWorkload is the standard on/off process the battery uses: byte-counted
+// on periods (exponential, 100 kB mean) separated by short off periods.
+func quickWorkload() scenario.WorkloadSpec {
+	return scenario.ByBytesWorkload(scenario.ExponentialDist(100_000), scenario.ExponentialDist(0.5))
+}
+
+// DefaultScenarios returns the battery: every registered protocol on the
+// paper's three topologies at a reduced budget (a few simulated seconds, two
+// repetitions) so the whole battery runs in seconds.
+func DefaultScenarios() []ScenarioSet {
+	w := quickWorkload()
+	return []ScenarioSet{
+		{
+			Name: "dumbbell",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "vegas"}, {scheme: "cubic"},
+				{scheme: "compound"}, {scheme: "cubic/sfqcodel"}, {scheme: "xcp"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.New(
+					scenario.WithName("golden-dumbbell-"+c.scheme),
+					scenario.WithLink(15e6),
+					scenario.WithDuration(3),
+					scenario.WithSeed(goldenSeed),
+					scenario.WithRepetitions(2),
+					scenario.WithFlow(flowFor(c, 2, 150, w)),
+				)
+			},
+		},
+		{
+			Name: "cellular",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "vegas"}, {scheme: "cubic"},
+				{scheme: "remy", remycc: remyAsset("remycc_delta1.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.New(
+					scenario.WithName("golden-cellular-"+c.scheme),
+					scenario.WithLinkModel("verizon"),
+					scenario.WithDuration(3),
+					scenario.WithSeed(goldenSeed),
+					scenario.WithRepetitions(2),
+					scenario.WithFlow(flowFor(c, 2, 50, w)),
+				)
+			},
+		},
+		{
+			// stress drives a tiny bottleneck buffer into sustained overload so
+			// the fixtures pin down the drop paths too: tail drops at enqueue
+			// and CoDel's dequeue-time drops (cubic/sfqcodel).
+			Name: "stress",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "cubic"}, {scheme: "cubic/sfqcodel"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				always := scenario.ByTimeWorkload(scenario.ConstantDist(10), scenario.ConstantDist(1))
+				always.StartOn = true
+				return scenario.New(
+					scenario.WithName("golden-stress-"+c.scheme),
+					scenario.WithLink(5e6),
+					scenario.WithQueue("", 25),
+					scenario.WithDuration(3),
+					scenario.WithSeed(goldenSeed),
+					scenario.WithRepetitions(2),
+					scenario.WithFlow(flowFor(c, 3, 100, always)),
+				)
+			},
+		},
+		{
+			Name: "datacenter",
+			schemes: []schemeCase{
+				{scheme: "dctcp"}, {scheme: "newreno"},
+				{scheme: "remy", remycc: remyAsset("remycc_dc.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.New(
+					scenario.WithName("golden-datacenter-"+c.scheme),
+					scenario.WithLink(1e9),
+					scenario.WithDuration(1),
+					scenario.WithSeed(goldenSeed),
+					scenario.WithRepetitions(2),
+					scenario.WithFlow(flowFor(c, 2, 4, w)),
+				)
+			},
+		},
+	}
+}
+
+// Capture runs every scheme of the set across the given worker count and
+// assembles the summary.
+func Capture(set ScenarioSet, workers int) (Summary, error) {
+	out := Summary{Scenario: set.Name}
+	runner := scenario.Runner{Workers: workers}
+	for _, c := range set.schemes {
+		spec := set.build(c)
+		results, err := runner.RunOne(spec)
+		if err != nil {
+			return Summary{}, fmt.Errorf("golden: %s/%s: %w", set.Name, c.scheme, err)
+		}
+		ss := SchemeSummary{Scheme: c.scheme}
+		for _, res := range results {
+			run := RunSummary{
+				Rep:       res.Rep,
+				Seed:      res.Seed,
+				Offered:   res.Res.Offered,
+				Delivered: res.Res.Delivered,
+				Dropped:   res.Res.Dropped,
+			}
+			for _, f := range res.Res.Flows {
+				st := f.Transport
+				run.Flows = append(run.Flows, FlowSummary{
+					Scheme:          f.Algorithm,
+					PacketsSent:     st.PacketsSent,
+					Retransmissions: st.Retransmissions,
+					Timeouts:        st.Timeouts,
+					LossEvents:      st.LossEvents,
+					AcksReceived:    st.AcksReceived,
+					BytesAcked:      st.BytesAcked,
+					RTTSamples:      st.RTTSamples,
+					RTTSumUs:        int64(st.RTTSum),
+					MinRTTUs:        int64(st.MinRTT),
+					MaxRTTUs:        int64(st.MaxRTT),
+					OnPeriods:       f.OnPeriods,
+				})
+			}
+			ss.Runs = append(ss.Runs, run)
+		}
+		out.Schemes = append(out.Schemes, ss)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package golden
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the fixtures in testdata/. Only legitimate when
+// simulation behavior is meant to change; see the package comment.
+var update = flag.Bool("update", false, "rewrite golden fixtures in testdata/")
+
+// TestGoldenFixtures runs the battery and compares the encoded summaries
+// byte-for-byte against the recorded fixtures. On mismatch the captured
+// bytes are written to testdata/got-<name>.json (gitignored) so CI can
+// upload the diff as an artifact.
+func TestGoldenFixtures(t *testing.T) {
+	for _, set := range DefaultScenarios() {
+		set := set
+		t.Run(set.Name, func(t *testing.T) {
+			t.Parallel()
+			sum, err := Capture(set, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sum.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", set.Fixture())
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update to record): %v", err)
+			}
+			if string(got) != string(want) {
+				gotPath := filepath.Join("testdata", "got-"+set.Fixture())
+				if werr := os.WriteFile(gotPath, got, 0o644); werr == nil {
+					t.Errorf("summary differs from fixture %s; captured output written to %s", path, gotPath)
+				} else {
+					t.Errorf("summary differs from fixture %s (and writing %s failed: %v)", path, gotPath, werr)
+				}
+				diffFirst(t, want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenWorkerCountDeterminism asserts the battery produces
+// byte-identical summaries regardless of how many workers execute it —
+// the determinism contract the parallel runner advertises.
+func TestGoldenWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, set := range DefaultScenarios() {
+		set := set
+		t.Run(set.Name, func(t *testing.T) {
+			t.Parallel()
+			one, err := Capture(set, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			many, err := Capture(set, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := one.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b4, err := many.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b4) {
+				t.Error("summaries differ between 1 and 4 workers")
+				diffFirst(t, b1, b4)
+			}
+		})
+	}
+}
+
+// diffFirst logs the first line at which two fixture encodings diverge.
+func diffFirst(t *testing.T, want, got []byte) {
+	t.Helper()
+	wl, gl := splitLines(want), splitLines(got)
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			t.Logf("first divergence at line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+			return
+		}
+	}
+	t.Logf("one encoding is a prefix of the other (want %d lines, got %d)", len(wl), len(gl))
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, string(b[start:]))
+	}
+	return out
+}

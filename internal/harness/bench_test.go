@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/cc/cubic"
+	"repro/internal/cc/newreno"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchScenario is a quick saturated dumbbell: four always-on senders on a
+// 20 Mbps bottleneck for three simulated seconds — the end-to-end shape of
+// one experiment repetition.
+func benchScenario(newAlgo func() cc.Algorithm) Scenario {
+	always := workload.Spec{
+		Mode:    workload.ByTime,
+		On:      workload.Constant{Value: 10},
+		Off:     workload.Constant{Value: 1},
+		StartOn: true,
+	}
+	s := Scenario{
+		LinkRateBps:   20e6,
+		Queue:         QueueDropTail,
+		QueueCapacity: 100,
+		Duration:      3 * sim.Second,
+	}
+	for i := 0; i < 4; i++ {
+		s.Flows = append(s.Flows, FlowSpec{
+			RTTMs:        100,
+			Workload:     always,
+			NewAlgorithm: newAlgo,
+		})
+	}
+	return s
+}
+
+// BenchmarkRunQuickDumbbellNewReno measures a full harness.Run — engine,
+// network, transports, workload switchers — per iteration. allocs/op here is
+// the headline number the hot-path work optimizes.
+func BenchmarkRunQuickDumbbellNewReno(b *testing.B) {
+	s := benchScenario(func() cc.Algorithm { return newreno.New() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunQuickDumbbellCubic is the same end-to-end run with Cubic, a
+// heavier per-ACK code path.
+func BenchmarkRunQuickDumbbellCubic(b *testing.B) {
+	s := benchScenario(func() cc.Algorithm { return cubic.New() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -222,6 +222,12 @@ func Run(s Scenario, seed int64) (Result, error) {
 		return Result{}, err
 	}
 	network.OnDeliver = s.OnDeliver
+	// Disciplines that drop at dequeue time (CoDel and friends) recycle those
+	// packets through the network's pool; enqueue-time drops are recycled by
+	// the port itself.
+	if hooked, ok := queue.(interface{ SetDropHook(func(*netsim.Packet)) }); ok {
+		hooked.SetDropHook(network.ReleasePacket)
+	}
 
 	type flowState struct {
 		transport *cc.Transport

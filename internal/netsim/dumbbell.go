@@ -46,11 +46,28 @@ type Network struct {
 	flows []*Port
 
 	// OnDeliver, if set, is invoked for every packet delivered to a
-	// receiver (used by the Figure 6 sequence-plot experiment).
+	// receiver (used by the Figure 6 sequence-plot experiment). The packet is
+	// recycled once the callback returns; observers must copy what they need
+	// rather than retain the pointer.
 	OnDeliver func(p *Packet, now sim.Time)
+
+	// pool recycles packets and ack carriers through the send → queue → link
+	// → receiver → ack cycle, keeping the per-packet path allocation-free.
+	pool      packetPool
+	ackFree   []*ackCarrier
+	propApply func(now sim.Time, arg any)
+	ackApply  func(now sim.Time, arg any)
 
 	packetsOffered int64
 	packetsDropped int64
+}
+
+// ackCarrier ferries one acknowledgment through its return-path propagation
+// event without boxing the Ack value into an interface (which would allocate
+// per packet).
+type ackCarrier struct {
+	port *Port
+	ack  Ack
 }
 
 // Port is one flow's attachment point to the network. The sender transmits
@@ -82,6 +99,8 @@ func NewNetwork(engine *sim.Engine, cfg Config) (*Network, error) {
 		mtu = MTU
 	}
 	n := &Network{engine: engine, cfg: cfg, queue: cfg.Queue, mtu: mtu}
+	n.propApply = n.onPropagated
+	n.ackApply = n.onAckReturned
 	deliver := func(p *Packet, now sim.Time) { n.deliverToReceiver(p, now) }
 	var link *Link
 	var err error
@@ -166,21 +185,61 @@ func (n *Network) MinRTT(flow int) sim.Time {
 func (n *Network) deliverToReceiver(p *Packet, now sim.Time) {
 	port := n.PortFor(p.Flow)
 	if port == nil {
+		n.pool.put(p)
 		return
 	}
 	// Forward propagation from the bottleneck to the receiver.
-	n.engine.Schedule(now+port.oneWay, func(t sim.Time) {
-		ack := port.receiver.Receive(p, t)
-		if n.OnDeliver != nil {
-			n.OnDeliver(p, t)
-		}
-		// Return propagation of the acknowledgment (reverse path is
-		// uncongested, as in the paper's setup).
-		n.engine.Schedule(t+port.oneWay, func(t2 sim.Time) {
-			port.sender.OnAck(ack, t2)
-		})
-	})
+	n.engine.ScheduleArg(now+port.oneWay, n.propApply, p)
 }
+
+// onPropagated runs when a data packet reaches its receiver: acknowledge it,
+// notify observers, recycle the packet, and send the acknowledgment back.
+func (n *Network) onPropagated(t sim.Time, arg any) {
+	p := arg.(*Packet)
+	port := n.flows[p.Flow]
+	ack := port.receiver.Receive(p, t)
+	if n.OnDeliver != nil {
+		n.OnDeliver(p, t)
+	}
+	n.pool.put(p)
+	// Return propagation of the acknowledgment (reverse path is uncongested,
+	// as in the paper's setup).
+	ac := n.getAckCarrier()
+	ac.port, ac.ack = port, ack
+	n.engine.ScheduleArg(t+port.oneWay, n.ackApply, ac)
+}
+
+// onAckReturned delivers an acknowledgment to its sender after the reverse
+// propagation delay.
+func (n *Network) onAckReturned(t sim.Time, arg any) {
+	ac := arg.(*ackCarrier)
+	port, ack := ac.port, ac.ack
+	ac.port = nil
+	ac.ack = Ack{}
+	n.ackFree = append(n.ackFree, ac)
+	port.sender.OnAck(ack, t)
+}
+
+func (n *Network) getAckCarrier() *ackCarrier {
+	if m := len(n.ackFree); m > 0 {
+		ac := n.ackFree[m-1]
+		n.ackFree[m-1] = nil
+		n.ackFree = n.ackFree[:m-1]
+		return ac
+	}
+	return &ackCarrier{}
+}
+
+// ReleasePacket returns a packet to the network's pool. Queue disciplines
+// that drop packets internally (CoDel's dequeue-time drops) are wired to it
+// by the harness; everything else on the packet's path releases through the
+// network itself.
+func (n *Network) ReleasePacket(p *Packet) { n.pool.put(p) }
+
+// NewPacket returns a blank packet for this flow's sender to fill in and
+// Send. Senders must obtain packets here rather than allocating them, so the
+// network can recycle delivered packets.
+func (p *Port) NewPacket() *Packet { return p.net.pool.get() }
 
 // Send transmits a packet from this flow's sender into the bottleneck
 // queue. The packet's Flow field is overwritten with the port's flow id.
@@ -197,6 +256,7 @@ func (p *Port) Send(pkt *Packet, now sim.Time) bool {
 	ok := p.net.queue.Enqueue(pkt, now)
 	if !ok {
 		p.net.packetsDropped++
+		p.net.pool.put(pkt)
 		return false
 	}
 	p.net.link.Offer(now)

@@ -24,12 +24,19 @@ type Link struct {
 	// fixed-rate service
 	rateBps float64
 	busy    bool
+	// serving/servingTime carry the packet currently in transmission between
+	// serveNext and serviceDone, so the service event needs no per-packet
+	// closure.
+	serving     *Packet
+	servingTime sim.Time
+	serviceDone func(now sim.Time)
 
 	// trace-driven service
-	trace     []sim.Time // delivery opportunity times, strictly increasing
-	traceLoop bool
-	traceIdx  int
-	traceOff  sim.Time // offset added when the trace wraps around
+	trace       []sim.Time // delivery opportunity times, strictly increasing
+	traceLoop   bool
+	traceIdx    int
+	traceOff    sim.Time // offset added when the trace wraps around
+	opportunity func(now sim.Time)
 
 	deliver func(p *Packet, now sim.Time)
 
@@ -48,7 +55,9 @@ func NewFixedRateLink(engine *sim.Engine, queue Queue, rateBps float64, deliver 
 	if rateBps <= 0 {
 		return nil, fmt.Errorf("netsim: link rate must be positive, got %g", rateBps)
 	}
-	return &Link{engine: engine, queue: queue, rateBps: rateBps, deliver: deliver}, nil
+	l := &Link{engine: engine, queue: queue, rateBps: rateBps, deliver: deliver}
+	l.serviceDone = l.onServiceDone
+	return l, nil
 }
 
 // NewTraceLink builds a trace-driven link: at each opportunity time in trace
@@ -67,6 +76,7 @@ func NewTraceLink(engine *sim.Engine, queue Queue, trace []sim.Time, loop bool, 
 		}
 	}
 	l := &Link{engine: engine, queue: queue, trace: trace, traceLoop: loop, deliver: deliver}
+	l.opportunity = l.onOpportunity
 	return l, nil
 }
 
@@ -125,14 +135,21 @@ func (l *Link) serveNext(now sim.Time) {
 	}
 	l.busy = true
 	l.lastStart = now
-	st := l.serviceTime(p)
-	l.engine.Schedule(now+st, func(t sim.Time) {
-		l.busyTime += st
-		l.delivered++
-		l.deliveredBytes += int64(p.Size)
-		l.deliver(p, t)
-		l.serveNext(t)
-	})
+	l.serving = p
+	l.servingTime = l.serviceTime(p)
+	l.engine.Schedule(now+l.servingTime, l.serviceDone)
+}
+
+// onServiceDone completes the transmission of the packet in service and
+// starts the next one (fixed-rate links only).
+func (l *Link) onServiceDone(t sim.Time) {
+	p := l.serving
+	l.serving = nil
+	l.busyTime += l.servingTime
+	l.delivered++
+	l.deliveredBytes += int64(p.Size)
+	l.deliver(p, t)
+	l.serveNext(t)
 }
 
 func (l *Link) scheduleNextOpportunity(now sim.Time) {
@@ -151,14 +168,18 @@ func (l *Link) scheduleNextOpportunity(now sim.Time) {
 		if at < now {
 			continue // skip opportunities already in the past
 		}
-		l.engine.Schedule(at, func(t sim.Time) {
-			if p := l.queue.Dequeue(t); p != nil {
-				l.delivered++
-				l.deliveredBytes += int64(p.Size)
-				l.deliver(p, t)
-			}
-			l.scheduleNextOpportunity(t)
-		})
+		l.engine.Schedule(at, l.opportunity)
 		return
 	}
+}
+
+// onOpportunity serves one delivery opportunity of a trace-driven link; an
+// empty queue wastes the opportunity, exactly as in the paper's setup.
+func (l *Link) onOpportunity(t sim.Time) {
+	if p := l.queue.Dequeue(t); p != nil {
+		l.delivered++
+		l.deliveredBytes += int64(p.Size)
+		l.deliver(p, t)
+	}
+	l.scheduleNextOpportunity(t)
 }

@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mustTraceLink(t *testing.T, engine *sim.Engine, q Queue, trace []sim.Time, loop bool, deliver func(*Packet, sim.Time)) *Link {
+	t.Helper()
+	l, err := NewTraceLink(engine, q, trace, loop, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestTraceLinkWrapAround pins the looping behavior: when the trace runs
+// out, subsequent opportunities repeat shifted by the final timestamp, so
+// the inter-opportunity gaps recur indefinitely.
+func TestTraceLinkWrapAround(t *testing.T) {
+	engine := sim.NewEngine()
+	q := &benchQueue{}
+	trace := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond}
+	var deliveries []sim.Time
+	link := mustTraceLink(t, engine, q, trace, true, func(p *Packet, now sim.Time) {
+		deliveries = append(deliveries, now)
+	})
+
+	const packets = 7 // forces two full wraps: 3 + 3 + 1 opportunities
+	for i := 0; i < packets; i++ {
+		q.Enqueue(&Packet{Seq: int64(i), Size: MTU}, 0)
+	}
+	link.Start(0)
+	engine.Run(sim.Second)
+
+	want := []sim.Time{
+		10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond, // first pass
+		40 * sim.Millisecond, 50 * sim.Millisecond, 60 * sim.Millisecond, // shifted by 30 ms
+		70 * sim.Millisecond, // second wrap, shifted by 60 ms
+	}
+	if len(deliveries) != len(want) {
+		t.Fatalf("delivered %d packets, want %d (times %v)", len(deliveries), len(want), deliveries)
+	}
+	for i, at := range want {
+		if deliveries[i] != at {
+			t.Errorf("delivery %d at %v, want %v", i, deliveries[i], at)
+		}
+	}
+	if link.Delivered() != packets {
+		t.Errorf("Delivered() = %d, want %d", link.Delivered(), packets)
+	}
+}
+
+// TestTraceLinkNoLoopEnds pins the non-looping behavior: once the trace is
+// exhausted the link stops serving, leaving excess packets queued.
+func TestTraceLinkNoLoopEnds(t *testing.T) {
+	engine := sim.NewEngine()
+	q := &benchQueue{}
+	trace := []sim.Time{5 * sim.Millisecond, 10 * sim.Millisecond}
+	delivered := 0
+	link := mustTraceLink(t, engine, q, trace, false, func(p *Packet, now sim.Time) { delivered++ })
+
+	for i := 0; i < 4; i++ {
+		q.Enqueue(&Packet{Seq: int64(i), Size: MTU}, 0)
+	}
+	link.Start(0)
+	engine.Run(sim.Second)
+
+	if delivered != 2 {
+		t.Errorf("delivered %d packets, want 2 (one per opportunity)", delivered)
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue holds %d packets after trace end, want 2", q.Len())
+	}
+	if engine.Pending() != 0 {
+		t.Errorf("engine still has %d pending events after the trace ended", engine.Pending())
+	}
+}
+
+// TestTraceLinkWastedOpportunities pins the paper's service model: a
+// delivery opportunity arriving at an empty queue is wasted — it is not
+// banked for a packet that shows up later.
+func TestTraceLinkWastedOpportunities(t *testing.T) {
+	engine := sim.NewEngine()
+	q := &benchQueue{}
+	trace := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond}
+	var deliveries []sim.Time
+	link := mustTraceLink(t, engine, q, trace, false, func(p *Packet, now sim.Time) {
+		deliveries = append(deliveries, now)
+	})
+	link.Start(0)
+
+	// The queue is empty for the first two opportunities; a packet arrives at
+	// 25 ms and must ride the third opportunity only.
+	engine.Schedule(25*sim.Millisecond, func(now sim.Time) {
+		q.Enqueue(&Packet{Seq: 0, Size: MTU}, now)
+		link.Offer(now) // trace links must ignore demand signals
+	})
+	engine.Run(sim.Second)
+
+	if len(deliveries) != 1 || deliveries[0] != 30*sim.Millisecond {
+		t.Fatalf("deliveries = %v, want exactly one at 30ms", deliveries)
+	}
+	if link.Delivered() != 1 {
+		t.Errorf("Delivered() = %d, want 1", link.Delivered())
+	}
+}
+
+// TestTraceLinkSkipsStaleOpportunities pins Start-time behavior: arming the
+// link after some opportunities have already passed skips them rather than
+// delivering in the past.
+func TestTraceLinkSkipsStaleOpportunities(t *testing.T) {
+	engine := sim.NewEngine()
+	q := &benchQueue{}
+	trace := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond}
+	var deliveries []sim.Time
+	link := mustTraceLink(t, engine, q, trace, false, func(p *Packet, now sim.Time) {
+		deliveries = append(deliveries, now)
+	})
+	q.Enqueue(&Packet{Size: MTU}, 0)
+	q.Enqueue(&Packet{Size: MTU}, 0)
+
+	engine.Run(15 * sim.Millisecond) // advance the clock past the first opportunity
+	link.Start(engine.Now())
+	engine.Run(sim.Second)
+
+	if len(deliveries) != 1 || deliveries[0] != 20*sim.Millisecond {
+		t.Fatalf("deliveries = %v, want exactly one at 20ms", deliveries)
+	}
+}

@@ -61,6 +61,58 @@ type Packet struct {
 	// disciplines use it to measure sojourn time (CoDel) and tests use it to
 	// verify delay accounting.
 	EnqueuedAt sim.Time
+
+	// xcpScratch keeps a recycled packet's XCP header co-allocated across
+	// reuses, so XCP flows do not allocate a fresh header per transmission.
+	xcpScratch *XCPHeader
+}
+
+// EnsureXCP returns the packet's XCP header, attaching a (possibly recycled)
+// one if the packet has none. Stampers must use it instead of allocating a
+// header directly, so pooled packets keep their header across reuses.
+func (p *Packet) EnsureXCP() *XCPHeader {
+	if p.XCP == nil {
+		if p.xcpScratch == nil {
+			p.xcpScratch = new(XCPHeader)
+		}
+		p.XCP = p.xcpScratch
+	}
+	return p.XCP
+}
+
+// packetPool is a per-engine free list of packets. Engines are
+// single-threaded by design, so the pool needs no locking; the network puts
+// packets back once the receiver has acknowledged them (or the bottleneck
+// dropped them), and hands them out again to senders.
+type packetPool struct {
+	free []*Packet
+}
+
+func (pl *packetPool) get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// put zeroes the packet and returns it to the free list. The XCP header, if
+// one was ever attached, is zeroed and kept as scratch for the next use.
+func (pl *packetPool) put(p *Packet) {
+	if p == nil {
+		return
+	}
+	scratch := p.xcpScratch
+	if scratch == nil {
+		scratch = p.XCP // header attached without EnsureXCP; keep it anyway
+	}
+	if scratch != nil {
+		*scratch = XCPHeader{}
+	}
+	*p = Packet{xcpScratch: scratch}
+	pl.free = append(pl.free, p)
 }
 
 // Ack acknowledges one data packet. The receiver acknowledges every packet

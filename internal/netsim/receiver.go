@@ -42,7 +42,11 @@ func (r *Receiver) BytesReceived() int64 { return r.bytesReceived }
 func (r *Receiver) Receive(p *Packet, now sim.Time) Ack {
 	r.packetsReceived++
 	r.bytesReceived += int64(p.Size)
-	if p.Seq >= r.cumAck && !r.received[p.Seq] {
+	if p.Seq == r.cumAck && len(r.received) == 0 {
+		// In-order fast path: no out-of-order state to reconcile, so the
+		// cumulative ack advances without touching the map at all.
+		r.cumAck++
+	} else if p.Seq >= r.cumAck && !r.received[p.Seq] {
 		r.received[p.Seq] = true
 		// Advance the cumulative ack over any now-contiguous prefix.
 		for r.received[r.cumAck] {
@@ -69,5 +73,5 @@ func (r *Receiver) Receive(p *Packet, now sim.Time) Ack {
 // paper's RemyCCs and TCP alike start each connection from scratch.
 func (r *Receiver) Reset() {
 	r.cumAck = 0
-	r.received = make(map[int64]bool)
+	clear(r.received)
 }

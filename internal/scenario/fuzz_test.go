@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecRoundTrip checks the declarative pipeline on arbitrary inputs:
+// any JSON that decodes into a valid Spec must re-encode to a stable fixed
+// point — decode(encode(decode(x))) produces the same bytes as
+// encode(decode(x)) — and re-encoding must never turn a valid spec into an
+// invalid or undecodable one. The corpus is seeded from the checked-in
+// example scenario files.
+//
+// Run with: go test ./internal/scenario -fuzz FuzzSpecRoundTrip
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if len(seeds) == 0 {
+		f.Log("no example scenario seeds found; fuzzing from literals only")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", path, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"link":{"rate_bps":1e6},"flows":[{"scheme":"newreno","rtt_ms":10,` +
+		`"workload":{"mode":"time","on":{"type":"constant","value":1},"off":{"type":"constant","value":1}}}],` +
+		`"duration_seconds":1}`))
+	f.Add([]byte(`{"flows":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return // undecodable input is out of scope
+		}
+		if s.Validate() != nil {
+			return // invalid specs need not round-trip
+		}
+		b1, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		s2, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v\nencoded: %s", err, b1)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("spec became invalid after a round trip: %v\nencoded: %s", err, b1)
+		}
+		b2, err := s2.Marshal()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encoding is not a fixed point\nfirst:  %s\nsecond: %s", b1, b2)
+		}
+	})
+}

@@ -1,81 +1,179 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// Event is a scheduled callback. Events compare by time, then by insertion
-// sequence, so simultaneous events execute in the order they were scheduled
-// — another ingredient of exact reproducibility.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func(now Time)
-	// canceled events stay in the heap but are skipped when popped; this is
-	// cheaper than removing them eagerly and keeps Cancel O(1).
-	canceled bool
-}
-
-// EventID identifies a scheduled event so it can be canceled.
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is invalid. IDs are generation-counted: when an event's slot is
+// reclaimed (after the event ran, or after a canceled entry is compacted
+// away) the slot's generation advances, so a stale id held by the caller can
+// never cancel the slot's next occupant.
 type EventID struct {
-	ev *event
+	slot int32
+	gen  uint32
 }
 
 // Valid reports whether the id refers to a scheduled (possibly already
 // executed) event.
-func (id EventID) Valid() bool { return id.ev != nil }
+func (id EventID) Valid() bool { return id.gen != 0 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// eventSlot is one value-typed entry in the engine's slab. Events compare by
+// time, then by insertion sequence, so simultaneous events execute in the
+// order they were scheduled — another ingredient of exact reproducibility.
+type eventSlot struct {
+	at  Time
+	seq uint64
+	// Exactly one of fn/argFn is set. argFn carries an explicit argument so
+	// per-packet hot paths can schedule without allocating a fresh closure.
+	fn    func(now Time)
+	argFn func(now Time, arg any)
+	arg   any
+	// gen is the slot's current generation; it advances on every release so
+	// stale EventIDs never touch a reused slot.
+	gen uint32
+	// canceled events stay in the heap but are skipped when popped; this is
+	// cheaper than removing them eagerly and keeps Cancel O(1). The engine
+	// compacts the heap when canceled entries pile up.
+	canceled bool
 }
 
 // Engine is a discrete-event simulation engine: a clock plus an ordered
 // queue of future callbacks. It is not safe for concurrent use; parallelism
 // in this repository is achieved by running many independent engines (one
 // per network specimen), never by sharing one.
+//
+// The event queue is a 4-ary heap of indices into a slab of value-typed
+// slots with a free list, so steady-state scheduling performs no heap
+// allocation: slots are recycled as events execute, and the slab only grows
+// while the pending set grows.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	nextSeq uint64
-	stopped bool
+	now   Time
+	slots []eventSlot
+	free  []int32 // reclaimed slot indices (LIFO for cache locality)
+	heap  []int32 // 4-ary min-heap of slot indices, ordered by (at, seq)
+	// canceled counts canceled events still sitting in the heap; when they
+	// outnumber live ones the heap is compacted and their slots reclaimed.
+	canceled int
+	nextSeq  uint64
+	stopped  bool
 	// executed counts events run, which tests and benchmarks use to verify
 	// workload sizes.
 	executed uint64
 }
 
+// compactMin is the minimum number of canceled in-heap events before a
+// compaction is considered; below it the bookkeeping is not worth it.
+const compactMin = 64
+
 // NewEngine returns an engine with the clock at zero and no pending events.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events currently scheduled (including
 // canceled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Executed returns the number of events that have run.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// less orders heap entries by (time, insertion sequence).
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores the heap property upward from position i.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.less(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = idx
+}
+
+// siftDown restores the heap property downward from position i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.less(h[min], idx) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = idx
+}
+
+// alloc returns a slot index off the free list, growing the slab if empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.slots = append(e.slots, eventSlot{gen: 1})
+	return int32(len(e.slots) - 1)
+}
+
+// release reclaims a slot popped from the heap, clearing its references and
+// advancing its generation so outstanding EventIDs go stale.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.argFn = nil
+	s.arg = nil
+	s.canceled = false
+	s.gen++
+	if s.gen == 0 { // generation wrapped; 0 must stay "invalid id"
+		s.gen = 1
+	}
+	e.free = append(e.free, idx)
+}
+
+func (e *Engine) schedule(at Time, fn func(Time), argFn func(Time, any), arg any) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule in the past: at=%v now=%v", at, e.now))
+	}
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.at = at
+	s.seq = e.nextSeq
+	s.fn = fn
+	s.argFn = argFn
+	s.arg = arg
+	e.nextSeq++
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return EventID{slot: idx, gen: s.gen}
+}
 
 // Schedule registers fn to run at the absolute simulated time at. Scheduling
 // in the past (before Now) is a programming error and panics, because it
@@ -84,13 +182,19 @@ func (e *Engine) Schedule(at Time, fn func(now Time)) EventID {
 	if fn == nil {
 		panic("sim: Schedule called with nil callback")
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: Schedule in the past: at=%v now=%v", at, e.now))
+	return e.schedule(at, fn, nil, nil)
+}
+
+// ScheduleArg registers fn to run at the absolute simulated time at, passing
+// it arg. It exists for per-packet hot paths: the callback can be a func
+// value created once and reused, with the varying state carried in arg, so
+// scheduling allocates nothing (arg itself should be a pointer — boxing a
+// large value into the interface would allocate).
+func (e *Engine) ScheduleArg(at Time, fn func(now Time, arg any), arg any) EventID {
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil callback")
 	}
-	ev := &event{at: at, seq: e.nextSeq, fn: fn}
-	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	return e.schedule(at, nil, fn, arg)
 }
 
 // ScheduleAfter registers fn to run after the given delay from now.
@@ -102,33 +206,94 @@ func (e *Engine) ScheduleAfter(delay Time, fn func(now Time)) EventID {
 }
 
 // Cancel prevents a previously scheduled event from running. Canceling an
-// event that already ran, or an invalid id, is a no-op.
+// event that already ran, or an invalid id, is a no-op. Cancel is O(1): the
+// entry stays in the heap and is skipped when popped, and piles of canceled
+// entries are compacted away wholesale.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.canceled = true
+	if id.gen == 0 || int(id.slot) >= len(e.slots) {
+		return
+	}
+	s := &e.slots[id.slot]
+	if s.gen != id.gen || s.canceled {
+		return
+	}
+	s.canceled = true
+	e.canceled++
+	if e.canceled >= compactMin && e.canceled*2 >= len(e.heap) {
+		e.compact()
+	}
+}
+
+// compact removes every canceled entry from the heap, reclaims their slots,
+// and re-heapifies the survivors in one pass.
+func (e *Engine) compact() {
+	h := e.heap[:0]
+	for _, idx := range e.heap {
+		if e.slots[idx].canceled {
+			e.release(idx)
+		} else {
+			h = append(h, idx)
+		}
+	}
+	e.heap = h
+	e.canceled = 0
+	for i := (len(h) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
 	}
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// popTop removes the heap's minimum entry and returns its slot index.
+func (e *Engine) popTop() int32 {
+	h := e.heap
+	idx := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return idx
+}
+
+// execTop pops the heap's minimum event and runs it, reporting whether a
+// live (non-canceled) event executed. The slot is copied out and released
+// before the callback runs, so the callback may immediately reuse it for a
+// new event.
+func (e *Engine) execTop() bool {
+	top := e.heap[0]
+	s := &e.slots[top]
+	at := s.at
+	fn, argFn, arg := s.fn, s.argFn, s.arg
+	canceled := s.canceled
+	e.popTop()
+	e.release(top)
+	if canceled {
+		e.canceled--
+		return false
+	}
+	e.now = at
+	e.executed++
+	if fn != nil {
+		fn(at)
+	} else {
+		argFn(at, arg)
+	}
+	return true
+}
+
 // Run executes events in time order until the queue is empty or the clock
 // would pass the `until` horizon. The clock is left at min(until, time of
 // last executed event); events scheduled after `until` remain queued.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.slots[e.heap[0]].at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.canceled {
-			continue
-		}
-		e.now = next.at
-		e.executed++
-		next.fn(e.now)
+		e.execTop()
 	}
 	if e.now < until {
 		e.now = until
@@ -137,15 +302,10 @@ func (e *Engine) Run(until Time) {
 
 // Step executes the single next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*event)
-		if next.canceled {
-			continue
+	for len(e.heap) > 0 {
+		if e.execTop() {
+			return true
 		}
-		e.now = next.at
-		e.executed++
-		next.fn(e.now)
-		return true
 	}
 	return false
 }

@@ -395,6 +395,40 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScheduleCancelRun measures the timer-churn pattern the
+// transport generates: every event is scheduled, then rescheduled (cancel +
+// schedule) before finally running — the RTO timer's life cycle.
+func BenchmarkEngineScheduleCancelRun(b *testing.B) {
+	fn := func(Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			id := e.Schedule(Time(j), fn)
+			e.Cancel(id)
+			e.Schedule(Time(j), fn)
+		}
+		e.Run(2000)
+	}
+}
+
+// BenchmarkEngineSteadyState measures a long-lived engine with a bounded
+// pending set — the shape of a simulation in flight, where slot reuse (not
+// slab growth) dominates.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := NewEngine()
+	var fn func(Time)
+	fn = func(now Time) { e.Schedule(now+10, fn) }
+	for j := 0; j < 64; j++ {
+		e.Schedule(Time(j), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
 func BenchmarkRNGExponential(b *testing.B) {
 	g := NewRNG(1)
 	b.ReportAllocs()

@@ -99,6 +99,11 @@ type Switcher struct {
 	bytesTarget int64 // remaining bytes in the current on period (ByBytes)
 	timeTarget  sim.Time
 
+	// onTimer fires the next on transition, offTimer the timed end of an on
+	// period (ByTime mode); fixed timers instead of per-transition closures.
+	onTimer  *sim.Timer
+	offTimer *sim.Timer
+
 	// OnStart is invoked when an on period begins; bytes is the byte budget
 	// for ByBytes mode (0 for ByTime mode).
 	OnStart func(now sim.Time, bytes int64)
@@ -119,7 +124,10 @@ func NewSwitcher(spec Spec, engine *sim.Engine, rng *sim.RNG) (*Switcher, error)
 	if rng == nil {
 		return nil, fmt.Errorf("workload: nil rng")
 	}
-	return &Switcher{spec: spec, rng: rng, engine: engine, state: Off}, nil
+	s := &Switcher{spec: spec, rng: rng, engine: engine, state: Off}
+	s.onTimer = engine.NewTimer(s.turnOn)
+	s.offTimer = engine.NewTimer(s.turnOff)
+	return s, nil
 }
 
 // State returns the current on/off state.
@@ -141,7 +149,7 @@ func (s *Switcher) Start(now sim.Time) {
 
 func (s *Switcher) scheduleOn(now sim.Time) {
 	delay := sim.FromSeconds(s.spec.Off.Sample(s.rng))
-	s.engine.Schedule(now+delay, func(t sim.Time) { s.turnOn(t) })
+	s.onTimer.Schedule(now + delay)
 }
 
 func (s *Switcher) turnOn(now sim.Time) {
@@ -162,7 +170,7 @@ func (s *Switcher) turnOn(now sim.Time) {
 			dur = sim.Millisecond
 		}
 		s.timeTarget = dur
-		s.engine.Schedule(now+dur, func(t sim.Time) { s.turnOff(t) })
+		s.offTimer.Schedule(now + dur)
 	}
 	if s.OnStart != nil {
 		s.OnStart(now, bytes)
