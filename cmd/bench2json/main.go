@@ -1,0 +1,87 @@
+// Command bench2json converts `go test -bench` output on stdin into JSON on
+// stdout, so benchmark runs can be archived and diffed as structured data
+// (CI publishes the optimizer training benchmarks as BENCH_optimizer.json).
+//
+//	go test ./internal/optimizer -run xxx -bench . -benchmem | bench2json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line: the benchmark name, its iteration count,
+// and every reported metric keyed by unit (ns/op, B/op, allocs/op, plus any
+// custom b.ReportMetric units such as prune%).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole converted run.
+type Output struct {
+	// Context carries the goos/goarch/pkg/cpu header lines.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// parseBench parses one "BenchmarkName  N  value unit  value unit ..." line.
+func parseBench(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+func main() {
+	out := Output{Context: make(map[string]string)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if b, ok := parseBench(line); ok {
+			out.Benchmarks = append(out.Benchmarks, b)
+			continue
+		}
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				out.Context[key] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+		os.Exit(1)
+	}
+}

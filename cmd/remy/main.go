@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/optimizer"
 	"repro/internal/sim"
@@ -75,6 +76,9 @@ func main() {
 	iters := flag.Int("iters", 2, "max improvement iterations per rule per round")
 	maxRules := flag.Int("max-rules", 64, "stop subdividing beyond this many rules (0 = unlimited)")
 
+	checkpoint := flag.String("checkpoint", "", "path to save the tree + training state after every round (long runs survive interruption)")
+	resume := flag.Bool("resume", false, "resume an interrupted run from the -checkpoint files")
+
 	senders := flag.String("senders", "1:8", "sender count range lo:hi (custom model)")
 	rate := flag.String("rate", "10e6:20e6", "link rate range in bps lo:hi (custom model)")
 	rtt := flag.String("rtt", "100:200", "RTT range in ms lo:hi (custom model)")
@@ -126,13 +130,68 @@ func main() {
 		spec.Objective, spec.Config.MinSenders, spec.Config.MaxSenders,
 		spec.Config.LinkRateBps, spec.Config.RTTMs, spec.Config.Specimens, spec.Config.SpecimenDuration)
 
-	tree, progress, err := r.Optimize(nil, *rounds)
-	if err != nil {
-		log.Fatalf("remy: %v", err)
+	if *rounds < 1 {
+		log.Fatalf("remy: -rounds must be positive, got %d", *rounds)
 	}
+
+	var tree *core.WhiskerTree
+	startRound, startEpoch := 0, 0
+	if *resume {
+		if *checkpoint == "" {
+			log.Fatal("remy: -resume requires -checkpoint")
+		}
+		t, st, err := optimizer.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			log.Fatalf("remy: %v", err)
+		}
+		if st.Seed != *seed {
+			log.Fatalf("remy: checkpoint was recorded with -seed %d, got %d", st.Seed, *seed)
+		}
+		if st.ConfigHash != "" && st.ConfigHash != r.ConfigFingerprint() {
+			log.Fatalf("remy: checkpoint was recorded with a different design model or search knobs (config hash %s, current %s); rerun with the original flags", st.ConfigHash, r.ConfigFingerprint())
+		}
+		tree, startRound, startEpoch = t, st.Round, st.Epoch
+		log.Printf("resuming from %s: round %d, epoch %d, %d rules", *checkpoint, startRound, startEpoch, tree.NumWhiskers())
+		if startRound >= *rounds {
+			log.Fatalf("remy: checkpoint already has %d rounds; raise -rounds to continue", startRound)
+		}
+	}
+
+	var progress []optimizer.Progress
+	var evalStats optimizer.EvalStats
+	if *checkpoint == "" {
+		// Uninterruptible run: one Optimize call for all rounds.
+		t, prog, err := r.Optimize(tree, *rounds)
+		if err != nil {
+			log.Fatalf("remy: %v", err)
+		}
+		tree, progress, evalStats = t, prog, r.EvalStats()
+	} else {
+		// Checkpointed run: one round per Optimize call, saving tree + state
+		// after each. Seed handling in Optimize (StartRound burns the
+		// specimen streams of completed rounds) makes the looped run produce
+		// exactly the tree an uninterrupted run would.
+		for round := startRound; round < *rounds; round++ {
+			r.StartRound, r.StartEpoch = round, startEpoch
+			t, prog, err := r.Optimize(tree, 1)
+			if err != nil {
+				log.Fatalf("remy: %v", err)
+			}
+			tree, startEpoch = t, r.Epoch()
+			evalStats = evalStats.Add(r.EvalStats())
+			progress = append(progress, prog...)
+			st := optimizer.TrainingState{Round: round + 1, Epoch: startEpoch, Seed: *seed, ConfigHash: r.ConfigFingerprint()}
+			if err := optimizer.SaveCheckpoint(*checkpoint, tree, st); err != nil {
+				log.Fatalf("remy: %v", err)
+			}
+			log.Printf("checkpointed %s after round %d", *checkpoint, round)
+		}
+	}
+
 	for _, p := range progress {
 		log.Printf("  %s", p)
 	}
+	log.Printf("evaluation pipeline: %s", evalStats)
 	if err := tree.SaveFile(*out); err != nil {
 		log.Fatalf("remy: writing %s: %v", *out, err)
 	}

@@ -555,3 +555,166 @@ func BenchmarkSenderOnAck(b *testing.B) {
 		s.OnAck(ackEvent(now, now-100*sim.Millisecond, 100*sim.Millisecond, 90*sim.Millisecond))
 	}
 }
+
+func TestWhiskerTreeLookupHintMatchesLookup(t *testing.T) {
+	// Property: LookupHint returns exactly what Lookup returns, for any
+	// hint value (valid, stale, or out of range).
+	g := sim.NewRNG(9)
+	tree := DefaultWhiskerTree()
+	for i := 0; i < 6; i++ {
+		idx := g.Intn(tree.NumWhiskers())
+		w, _ := tree.Whisker(idx)
+		at := Memory{
+			g.Uniform(w.Domain.Lower.AckEWMA, w.Domain.Upper.AckEWMA),
+			g.Uniform(w.Domain.Lower.SendEWMA, w.Domain.Upper.SendEWMA),
+			g.Uniform(w.Domain.Lower.RTTRatio, w.Domain.Upper.RTTRatio),
+		}
+		if err := tree.Split(idx, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		p := Memory{
+			g.Uniform(-10, MaxMemoryValue+10),
+			g.Uniform(-10, MaxMemoryValue+10),
+			g.Uniform(0, MaxMemoryValue+10),
+		}
+		wantIdx, wantAction := tree.Lookup(p)
+		for _, hint := range []int{-1, 0, wantIdx, g.Intn(tree.NumWhiskers()), tree.NumWhiskers() + 5} {
+			gotIdx, gotAction := tree.LookupHint(p, hint)
+			if gotIdx != wantIdx || !gotAction.Equal(wantAction) {
+				t.Fatalf("LookupHint(%v, %d) = %d, want %d", p, hint, gotIdx, wantIdx)
+			}
+		}
+	}
+}
+
+func TestWhiskerTreeLookupAllocationFree(t *testing.T) {
+	tree := DefaultWhiskerTree()
+	tree.Split(0, Memory{100, 100, 2})
+	tree.Split(3, Memory{50, 50, 1.5})
+	p := Memory{60, 60, 1.7}
+	if n := testing.AllocsPerRun(100, func() { tree.Lookup(p) }); n != 0 {
+		t.Errorf("Lookup allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { tree.LookupHint(p, 2) }); n != 0 {
+		t.Errorf("LookupHint allocates %v times per call", n)
+	}
+}
+
+func TestWhiskerTreeWithAction(t *testing.T) {
+	tree := DefaultWhiskerTree()
+	tree.Split(0, Memory{100, 100, 2})
+	newAction := Action{WindowMultiple: 2, WindowIncrement: 5, IntersendMs: 1}
+	cand, err := tree.WithAction(3, newAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := cand.Whisker(3); !w.Action.Equal(newAction) {
+		t.Error("candidate does not carry the new action")
+	}
+	if w, _ := tree.Whisker(3); w.Action.Equal(newAction) {
+		t.Error("WithAction mutated the receiver")
+	}
+	// Lookups on the two trees agree except inside the modified whisker.
+	g := sim.NewRNG(12)
+	for i := 0; i < 500; i++ {
+		p := Memory{g.Uniform(0, MaxMemoryValue), g.Uniform(0, MaxMemoryValue), g.Uniform(0, MaxMemoryValue)}
+		i1, a1 := tree.Lookup(p)
+		i2, a2 := cand.Lookup(p)
+		if i1 != i2 {
+			t.Fatalf("index mismatch at %v", p)
+		}
+		if i1 == 3 {
+			if !a2.Equal(newAction.Clamp()) {
+				t.Fatalf("candidate action not applied at %v", p)
+			}
+		} else if !a1.Equal(a2) {
+			t.Fatalf("action mismatch at %v", p)
+		}
+	}
+	// Structural ops on the candidate leave the original intact (the shared
+	// node array is rebuilt, never modified in place).
+	if err := cand.Split(1, Memory{}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumWhiskers() == cand.NumWhiskers() {
+		t.Error("splitting the candidate changed the original")
+	}
+	if _, err := tree.WithAction(99, newAction); err == nil {
+		t.Error("out-of-range WithAction accepted")
+	}
+}
+
+func TestWhiskerTreeCanonicalKey(t *testing.T) {
+	a := DefaultWhiskerTree()
+	b := DefaultWhiskerTree()
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("identical trees must share a key")
+	}
+	// Epochs are invisible to the simulated sender and must not change the key.
+	b.SetAllEpochs(7)
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("epoch changes must not change the key")
+	}
+	// Action changes do.
+	b.SetAction(0, Action{WindowMultiple: 2, WindowIncrement: 1, IntersendMs: 1})
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("action change must change the key")
+	}
+	// Structure changes do.
+	c := DefaultWhiskerTree()
+	c.Split(0, Memory{100, 100, 2})
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Error("split must change the key")
+	}
+	// Serialization round-trips preserve behaviour and therefore the key.
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WhiskerTree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CanonicalKey() != c.CanonicalKey() {
+		t.Error("JSON round trip changed the key")
+	}
+}
+
+// touchRecorder additionally captures connection-start lookups.
+type touchRecorder struct {
+	recorder
+	touches []int
+}
+
+func (r *touchRecorder) RecordTouch(idx int) { r.touches = append(r.touches, idx) }
+
+func TestSenderRecordsTouches(t *testing.T) {
+	tree := DefaultWhiskerTree()
+	s := NewSender(tree)
+	rec := &touchRecorder{}
+	s.Recorder = rec
+	// A connection (re)start looks up the rule for the zeroed memory and
+	// must report it as a touch, not a use.
+	s.Reset(0)
+	if len(rec.touches) != 1 || rec.touches[0] != 0 {
+		t.Fatalf("touches after Reset = %v", rec.touches)
+	}
+	if len(rec.uses) != 0 {
+		t.Fatalf("Reset must not record a use, got %v", rec.uses)
+	}
+	// ACKs record uses, not touches.
+	s.OnAck(ackEvent(100*sim.Millisecond, 0, 100*sim.Millisecond, 100*sim.Millisecond))
+	if len(rec.uses) != 1 || len(rec.touches) != 1 {
+		t.Fatalf("after one ack: uses=%v touches=%v", rec.uses, rec.touches)
+	}
+	// A recorder without the optional interface still works.
+	s2 := NewSender(tree)
+	plain := &recorder{}
+	s2.Recorder = plain
+	s2.Reset(0)
+	if len(plain.uses) != 0 {
+		t.Error("plain recorder must see no uses from Reset")
+	}
+}

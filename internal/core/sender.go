@@ -12,6 +12,17 @@ type UsageRecorder interface {
 	RecordUse(whiskerIndex int, mem Memory)
 }
 
+// TouchRecorder is an optional extension of UsageRecorder for observers that
+// need to know every rule a simulation consulted, not just the per-ACK uses:
+// RecordTouch fires for the lookup a sender performs when (re)starting a
+// connection, which applies the rule's intersend gap but does not count as a
+// "use" in the §4.3 sense. The optimizer's usage-pruned candidate
+// re-simulation depends on these touches — a specimen can be influenced by a
+// rule its flows never used on an ACK.
+type TouchRecorder interface {
+	RecordTouch(whiskerIndex int)
+}
+
 // Sender executes a RemyCC: on every incoming ACK it updates its memory,
 // looks up the matching whisker, and applies that whisker's action to its
 // congestion window and pacing interval. It implements cc.Algorithm, so it
@@ -29,6 +40,11 @@ type Sender struct {
 	lastAckTime sim.Time
 	lastSentTS  sim.Time
 
+	// lastWhisker memoizes the most recently matched rule; consecutive ACKs
+	// of a flow usually stay in the same rule, so LookupHint skips the
+	// octree walk on the hit path.
+	lastWhisker int
+
 	// Recorder, when non-nil, observes every rule lookup.
 	Recorder UsageRecorder
 }
@@ -37,7 +53,7 @@ type Sender struct {
 // is used read-only, so many senders (across goroutines running separate
 // simulations) may share one tree.
 func NewSender(tree *WhiskerTree) *Sender {
-	s := &Sender{tree: tree}
+	s := &Sender{tree: tree, lastWhisker: -1}
 	s.Reset(0)
 	return s
 }
@@ -67,7 +83,11 @@ func (s *Sender) Reset(now sim.Time) {
 // applyCurrent refreshes the pacing interval from the rule matching the
 // current memory without modifying the window (used at connection start).
 func (s *Sender) applyCurrent() {
-	_, action := s.tree.Lookup(s.mem)
+	idx, action := s.tree.LookupHint(s.mem, s.lastWhisker)
+	s.lastWhisker = idx
+	if rec, ok := s.Recorder.(TouchRecorder); ok {
+		rec.RecordTouch(idx)
+	}
 	s.intersend = sim.FromMillis(action.IntersendMs)
 }
 
@@ -99,7 +119,8 @@ func (s *Sender) OnAck(ev cc.AckEvent) {
 	}
 	s.mem = s.mem.Clamp()
 
-	idx, action := s.tree.Lookup(s.mem)
+	idx, action := s.tree.LookupHint(s.mem, s.lastWhisker)
+	s.lastWhisker = idx
 	if s.Recorder != nil {
 		s.Recorder.RecordUse(idx, s.mem)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -21,28 +23,38 @@ type Whisker struct {
 	Epoch int `json:"epoch"`
 }
 
-// node is one octree node: either a leaf holding a whisker, or an internal
-// node with a split point and eight children.
-type node struct {
-	leaf     bool
-	whisker  Whisker
+// flatNode is one octree node in the tree's flattened node array: either a
+// leaf referencing a whisker by index, or an internal node with a split
+// point and eight child node indices.
+type flatNode struct {
 	split    Memory
-	children []*node
+	children [8]int32
+	leaf     int32 // whisker index when >= 0; -1 for internal nodes
 }
 
 // WhiskerTree is the RemyCC rule table: an octree over memory space whose
-// leaves are whiskers. Lookups walk the tree; the optimizer manipulates
-// leaves by index.
+// leaves are whiskers, stored as two flat value-typed arrays — the
+// structural nodes and the leaf whiskers, both in DFS order — so that
+// Lookup walks contiguous memory with no pointer chasing and no allocation.
+//
+// The node array is immutable once built: every structural change (Split,
+// deserialization) builds a fresh array, and per-whisker mutation
+// (SetAction, SetEpoch) touches only the whisker array. Clone and
+// WithAction therefore share the structure and copy only the whiskers,
+// which is what makes candidate construction in the optimizer a cheap
+// copy-on-write instead of a per-candidate deep clone.
 type WhiskerTree struct {
-	root   *node
-	leaves []*node // leaf enumeration in deterministic (DFS) order
+	nodes    []flatNode
+	whiskers []Whisker
+	domain   MemoryRange // the root box, used to clamp lookups
 }
 
 // NewWhiskerTree returns a tree with a single whisker covering all of memory
 // space with the given action (the initial RemyCC of §4.3).
 func NewWhiskerTree(action Action) *WhiskerTree {
 	t := &WhiskerTree{
-		root: &node{leaf: true, whisker: Whisker{Domain: FullMemoryRange(), Action: action.Clamp()}},
+		nodes:    []flatNode{{leaf: 0}},
+		whiskers: []Whisker{{Domain: FullMemoryRange(), Action: action.Clamp()}},
 	}
 	t.reindex()
 	return t
@@ -51,155 +63,238 @@ func NewWhiskerTree(action Action) *WhiskerTree {
 // DefaultWhiskerTree returns the initial RemyCC with the default action.
 func DefaultWhiskerTree() *WhiskerTree { return NewWhiskerTree(DefaultAction()) }
 
+// reindex renumbers the leaves in DFS order and recomputes the root domain.
+// It mutates the node array, so it must only run on a freshly built one.
+// The whisker array is required to already be in DFS order; reindex pairs
+// the k-th DFS leaf with whiskers[k].
 func (t *WhiskerTree) reindex() {
-	t.leaves = t.leaves[:0]
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.leaf {
-			n.whisker.Index = len(t.leaves)
-			t.leaves = append(t.leaves, n)
+	next := int32(0)
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		if n.leaf >= 0 {
+			n.leaf = next
+			t.whiskers[next].Index = int(next)
+			next++
 			return
 		}
 		for _, c := range n.children {
 			walk(c)
 		}
 	}
-	walk(t.root)
+	walk(0)
+	t.domain = MemoryRange{
+		Lower: t.whiskers[0].Domain.Lower,
+		Upper: t.whiskers[len(t.whiskers)-1].Domain.Upper,
+	}
 }
 
 // NumWhiskers returns the number of rules (leaves) in the tree.
-func (t *WhiskerTree) NumWhiskers() int { return len(t.leaves) }
+func (t *WhiskerTree) NumWhiskers() int { return len(t.whiskers) }
 
 // Whiskers returns a snapshot of all rules in index order.
 func (t *WhiskerTree) Whiskers() []Whisker {
-	out := make([]Whisker, len(t.leaves))
-	for i, n := range t.leaves {
-		out[i] = n.whisker
-	}
+	out := make([]Whisker, len(t.whiskers))
+	copy(out, t.whiskers)
 	return out
 }
 
 // Whisker returns the rule with the given index.
 func (t *WhiskerTree) Whisker(index int) (Whisker, error) {
-	if index < 0 || index >= len(t.leaves) {
-		return Whisker{}, fmt.Errorf("core: whisker index %d out of range [0,%d)", index, len(t.leaves))
+	if index < 0 || index >= len(t.whiskers) {
+		return Whisker{}, fmt.Errorf("core: whisker index %d out of range [0,%d)", index, len(t.whiskers))
 	}
-	return t.leaves[index].whisker, nil
+	return t.whiskers[index], nil
 }
 
 // Lookup finds the rule whose domain contains the (clamped) memory point and
 // returns its index and action. Every point maps to exactly one rule.
 func (t *WhiskerTree) Lookup(m Memory) (int, Action) {
+	idx := t.lookup(t.clampToDomain(m))
+	return idx, t.whiskers[idx].Action
+}
+
+// LookupHint is Lookup with a memo: hint is the rule a previous lookup
+// matched (or negative for none). When the point still falls in that rule's
+// domain — the common case for consecutive ACKs of one flow — the octree
+// walk is skipped entirely (the C++ Remy's most-recently-matched whisker
+// optimization). The result is identical to Lookup's, because whisker
+// domains partition the clamped memory space.
+func (t *WhiskerTree) LookupHint(m Memory, hint int) (int, Action) {
 	m = t.clampToDomain(m)
-	n := t.root
-	for !n.leaf {
+	if hint >= 0 && hint < len(t.whiskers) && t.whiskers[hint].Domain.Contains(m) {
+		return hint, t.whiskers[hint].Action
+	}
+	idx := t.lookup(m)
+	return idx, t.whiskers[idx].Action
+}
+
+// lookup descends the flattened octree; m must already be clamped.
+func (t *WhiskerTree) lookup(m Memory) int {
+	ni := int32(0)
+	for {
+		n := &t.nodes[ni]
+		if n.leaf >= 0 {
+			return int(n.leaf)
+		}
 		idx := 0
 		for axis := 0; axis < 3; axis++ {
 			if m.Axis(axis) >= n.split.Axis(axis) {
 				idx |= 1 << axis
 			}
 		}
-		n = n.children[idx]
+		ni = n.children[idx]
 	}
-	return n.whisker.Index, n.whisker.Action
 }
 
 // clampToDomain nudges a memory point into the root domain's half-open box.
 func (t *WhiskerTree) clampToDomain(m Memory) Memory {
-	dom := t.root.whiskerDomain()
-	out := m
 	for axis := 0; axis < 3; axis++ {
-		lo, hi := dom.Lower.Axis(axis), dom.Upper.Axis(axis)
-		v := out.Axis(axis)
+		lo, hi := t.domain.Lower.Axis(axis), t.domain.Upper.Axis(axis)
+		v := m.Axis(axis)
 		if v < lo {
-			out = out.WithAxis(axis, lo)
+			m = m.WithAxis(axis, lo)
 		} else if v >= hi {
 			// Largest representable value strictly below the upper bound.
-			out = out.WithAxis(axis, hi-1e-9)
+			m = m.WithAxis(axis, hi-1e-9)
 		}
 	}
-	return out
-}
-
-func (n *node) whiskerDomain() MemoryRange {
-	if n.leaf {
-		return n.whisker.Domain
-	}
-	// The root of a non-leaf subtree spans the union of its children, which
-	// by construction is the box split at n.split; reconstruct from corners.
-	lower := n.children[0].whiskerDomain().Lower
-	upper := n.children[len(n.children)-1].whiskerDomain().Upper
-	return MemoryRange{Lower: lower, Upper: upper}
+	return m
 }
 
 // SetAction replaces the action of the rule with the given index.
 func (t *WhiskerTree) SetAction(index int, a Action) error {
-	if index < 0 || index >= len(t.leaves) {
+	if index < 0 || index >= len(t.whiskers) {
 		return fmt.Errorf("core: whisker index %d out of range", index)
 	}
-	t.leaves[index].whisker.Action = a.Clamp()
+	t.whiskers[index].Action = a.Clamp()
 	return nil
 }
 
 // SetEpoch sets the epoch of the rule with the given index.
 func (t *WhiskerTree) SetEpoch(index, epoch int) error {
-	if index < 0 || index >= len(t.leaves) {
+	if index < 0 || index >= len(t.whiskers) {
 		return fmt.Errorf("core: whisker index %d out of range", index)
 	}
-	t.leaves[index].whisker.Epoch = epoch
+	t.whiskers[index].Epoch = epoch
 	return nil
 }
 
 // SetAllEpochs sets every rule's epoch (§4.3 step 1).
 func (t *WhiskerTree) SetAllEpochs(epoch int) {
-	for _, n := range t.leaves {
-		n.whisker.Epoch = epoch
+	for i := range t.whiskers {
+		t.whiskers[i].Epoch = epoch
 	}
 }
 
 // Split replaces the rule with the given index by eight children split at
 // the supplied memory point (clamped to the rule's interior), each child
 // inheriting the parent's action and epoch (§4.3 step 5). Indices are
-// reassigned afterwards.
+// reassigned afterwards. The node array is rebuilt, never modified in
+// place, so trees sharing the structure (Clone, WithAction) are unaffected.
 func (t *WhiskerTree) Split(index int, at Memory) error {
-	if index < 0 || index >= len(t.leaves) {
+	if index < 0 || index >= len(t.whiskers) {
 		return fmt.Errorf("core: whisker index %d out of range", index)
 	}
-	n := t.leaves[index]
-	parent := n.whisker
-	at = parent.Domain.ClampInterior(at)
-	boxes := parent.Domain.Split(at)
-	n.leaf = false
-	n.split = at
-	n.children = make([]*node, len(boxes))
-	for i, box := range boxes {
-		n.children[i] = &node{
-			leaf:    true,
-			whisker: Whisker{Domain: box, Action: parent.Action, Epoch: parent.Epoch},
+	ni := -1
+	for i := range t.nodes {
+		if t.nodes[i].leaf == int32(index) {
+			ni = i
+			break
 		}
 	}
-	n.whisker = Whisker{}
+	if ni < 0 {
+		return fmt.Errorf("core: no leaf node for whisker %d", index)
+	}
+	parent := t.whiskers[index]
+	at = parent.Domain.ClampInterior(at)
+	boxes := parent.Domain.Split(at)
+
+	nodes := make([]flatNode, len(t.nodes), len(t.nodes)+len(boxes))
+	copy(nodes, t.nodes)
+	base := int32(len(nodes))
+	for range boxes {
+		nodes = append(nodes, flatNode{leaf: 0}) // renumbered by reindex
+	}
+	nodes[ni].leaf = -1
+	nodes[ni].split = at
+	for i := range boxes {
+		nodes[ni].children[i] = base + int32(i)
+	}
+
+	// The eight children take the parent's slot in the DFS leaf order.
+	whiskers := make([]Whisker, 0, len(t.whiskers)+len(boxes)-1)
+	whiskers = append(whiskers, t.whiskers[:index]...)
+	for _, box := range boxes {
+		whiskers = append(whiskers, Whisker{Domain: box, Action: parent.Action, Epoch: parent.Epoch})
+	}
+	whiskers = append(whiskers, t.whiskers[index+1:]...)
+
+	t.nodes, t.whiskers = nodes, whiskers
 	t.reindex()
 	return nil
 }
 
-// Clone returns a deep copy of the tree. The optimizer clones the current
-// best tree before trying candidate modifications.
+// Clone returns an independent copy of the tree: the immutable node array
+// is shared, the whisker array is copied. Mutations of either tree —
+// including Split, which rebuilds the node array — never affect the other.
 func (t *WhiskerTree) Clone() *WhiskerTree {
-	out := &WhiskerTree{root: cloneNode(t.root)}
-	out.reindex()
-	return out
+	whiskers := make([]Whisker, len(t.whiskers))
+	copy(whiskers, t.whiskers)
+	return &WhiskerTree{nodes: t.nodes, whiskers: whiskers, domain: t.domain}
 }
 
-func cloneNode(n *node) *node {
-	c := &node{leaf: n.leaf, whisker: n.whisker, split: n.split}
-	if !n.leaf {
-		c.children = make([]*node, len(n.children))
-		for i, child := range n.children {
-			c.children[i] = cloneNode(child)
+// WithAction returns a candidate variant of the tree in which rule index
+// has action a (clamped), leaving the receiver untouched. This is the
+// copy-on-write constructor the optimizer uses to build its ~100 candidate
+// tables per improvement step: structure shared, one whisker array copy.
+func (t *WhiskerTree) WithAction(index int, a Action) (*WhiskerTree, error) {
+	if index < 0 || index >= len(t.whiskers) {
+		return nil, fmt.Errorf("core: whisker index %d out of range", index)
+	}
+	out := t.Clone()
+	out.whiskers[index].Action = a.Clamp()
+	return out, nil
+}
+
+// CanonicalKey returns a byte-exact encoding of everything that affects the
+// tree's run-time behaviour: the root domain, the octree structure with its
+// split points, and each leaf's action. Epochs and indices are excluded —
+// they are optimizer bookkeeping invisible to the simulated sender. Two
+// trees with equal keys produce identical simulations, which is the
+// property the optimizer's evaluation memoization keys on.
+func (t *WhiskerTree) CanonicalKey() string {
+	buf := make([]byte, 0, 8+25*len(t.nodes))
+	var tmp [8]byte
+	f64 := func(v float64) {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	for axis := 0; axis < 3; axis++ {
+		f64(t.domain.Lower.Axis(axis))
+		f64(t.domain.Upper.Axis(axis))
+	}
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := t.nodes[ni]
+		if n.leaf >= 0 {
+			a := t.whiskers[n.leaf].Action
+			buf = append(buf, 'L')
+			f64(a.WindowMultiple)
+			f64(a.WindowIncrement)
+			f64(a.IntersendMs)
+			return
+		}
+		buf = append(buf, 'N')
+		for axis := 0; axis < 3; axis++ {
+			f64(n.split.Axis(axis))
+		}
+		for _, c := range n.children {
+			walk(c)
 		}
 	}
-	return c
+	walk(0)
+	return string(buf)
 }
 
 // treeJSON is the serialized form: a recursive node structure.
@@ -210,46 +305,54 @@ type treeJSON struct {
 	Children []*treeJSON `json:"children,omitempty"`
 }
 
-func toJSON(n *node) *treeJSON {
-	if n.leaf {
-		w := n.whisker
+func (t *WhiskerTree) toJSON(ni int32) *treeJSON {
+	n := t.nodes[ni]
+	if n.leaf >= 0 {
+		w := t.whiskers[n.leaf]
 		return &treeJSON{Leaf: true, Whisker: &w}
 	}
 	s := n.split
 	out := &treeJSON{Leaf: false, Split: &s}
 	for _, c := range n.children {
-		out.Children = append(out.Children, toJSON(c))
+		out.Children = append(out.Children, t.toJSON(c))
 	}
 	return out
 }
 
-func fromJSON(j *treeJSON) (*node, error) {
+// fromJSON appends the node described by j (and its subtree) to the tree's
+// arrays in DFS order and returns its node index.
+func (t *WhiskerTree) fromJSON(j *treeJSON) (int32, error) {
 	if j == nil {
-		return nil, fmt.Errorf("core: nil tree node")
+		return 0, fmt.Errorf("core: nil tree node")
 	}
+	ni := int32(len(t.nodes))
+	t.nodes = append(t.nodes, flatNode{})
 	if j.Leaf {
 		if j.Whisker == nil {
-			return nil, fmt.Errorf("core: leaf node without whisker")
+			return 0, fmt.Errorf("core: leaf node without whisker")
 		}
-		return &node{leaf: true, whisker: *j.Whisker}, nil
+		t.nodes[ni].leaf = int32(len(t.whiskers))
+		t.whiskers = append(t.whiskers, *j.Whisker)
+		return ni, nil
 	}
 	if len(j.Children) != 8 || j.Split == nil {
-		return nil, fmt.Errorf("core: internal node must have a split point and 8 children, got %d", len(j.Children))
+		return 0, fmt.Errorf("core: internal node must have a split point and 8 children, got %d", len(j.Children))
 	}
-	n := &node{leaf: false, split: *j.Split, children: make([]*node, len(j.Children))}
+	t.nodes[ni].leaf = -1
+	t.nodes[ni].split = *j.Split
 	for i, cj := range j.Children {
-		c, err := fromJSON(cj)
+		ci, err := t.fromJSON(cj)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		n.children[i] = c
+		t.nodes[ni].children[i] = ci
 	}
-	return n, nil
+	return ni, nil
 }
 
 // MarshalJSON implements json.Marshaler.
 func (t *WhiskerTree) MarshalJSON() ([]byte, error) {
-	return json.Marshal(toJSON(t.root))
+	return json.Marshal(t.toJSON(0))
 }
 
 // UnmarshalJSON implements json.Unmarshaler.
@@ -258,11 +361,11 @@ func (t *WhiskerTree) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
-	root, err := fromJSON(&j)
-	if err != nil {
+	fresh := WhiskerTree{}
+	if _, err := fresh.fromJSON(&j); err != nil {
 		return err
 	}
-	t.root = root
+	*t = fresh
 	t.reindex()
 	return nil
 }

@@ -1,0 +1,178 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchConfig is the design range the optimizer benchmarks run on: small
+// enough for quick iterations, busy enough that rules actually get used.
+func benchConfig() ConfigRange {
+	return ConfigRange{
+		MinSenders:           1,
+		MaxSenders:           4,
+		LinkRateBps:          Range{Lo: 5e6, Hi: 30e6},
+		RTTMs:                Range{Lo: 40, Hi: 300},
+		OnMode:               workload.ByTime,
+		MeanOnSeconds:        2,
+		MeanOffSecs:          1,
+		QueueCapacityPackets: 1000,
+		SpecimenDuration:     1 * sim.Second,
+		Specimens:            16,
+	}
+}
+
+// benchTree grows a multi-rule table the way the design procedure does —
+// repeatedly subdividing the most-used whisker at the median memory that
+// triggered it — so the rules concentrate where the traffic actually lives
+// and different specimens consult different (overlapping) rule subsets.
+func benchTree(b *testing.B, cfg ConfigRange, specimens []Specimen, splits int) *core.WhiskerTree {
+	b.Helper()
+	tree := core.DefaultWhiskerTree()
+	eval := NewEvaluator(stats.DefaultObjective(1))
+	eval.Workers = 4
+	for i := 0; i < splits; i++ {
+		evaluation, err := eval.Evaluate(tree, specimens, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := evaluation.MostUsedAny()
+		if idx < 0 {
+			b.Fatal("no whisker used while growing the bench tree")
+		}
+		median, ok := evaluation.MedianMemory(idx)
+		if !ok {
+			w, _ := tree.Whisker(idx)
+			median = w.Domain.Midpoint()
+		}
+		if err := tree.Split(idx, median); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree
+}
+
+// BenchmarkOptimizeRound runs one full round of the design procedure (pick
+// loop + split step) on a multi-rule table. Fresh designer and evaluator
+// state per iteration, so only intra-round memoization and pruning count —
+// nothing is amortized across b.N. The "legacy" variant disables the memo
+// cache and usage pruning — every candidate simulation runs. It still
+// benefits from this PR's flat whisker table and carried-evaluation pick
+// loop, so measured speedups are conservative relative to the true
+// pre-rewrite optimizer.
+func BenchmarkOptimizeRound(b *testing.B) {
+	cfg := benchConfig()
+	specimens := cfg.SampleSet(cfg.Specimens, sim.NewRNG(11))
+	base := benchTree(b, cfg, specimens, 8)
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{
+		{"memoized", false},
+		{"legacy", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last EvalStats
+			for i := 0; i < b.N; i++ {
+				r := New(cfg, stats.DefaultObjective(1))
+				r.Workers = 4
+				r.CandidateRungs = 1
+				r.ImprovementIters = 2
+				eval := NewEvaluator(r.Objective)
+				eval.Workers = 4
+				eval.NoCache = mode.noCache
+				tree := base.Clone()
+				if _, err := r.optimizeRound(tree, eval, specimens, 0); err != nil {
+					b.Fatal(err)
+				}
+				last = eval.Stats()
+			}
+			b.ReportMetric(last.CacheHitRate()*100, "hit%")
+			b.ReportMetric(last.PruneRate()*100, "prune%")
+			b.ReportMetric(float64(last.SimulatedRuns), "sims")
+		})
+	}
+}
+
+// BenchmarkScoreMany scores the full candidate-action ladder of one whisker
+// of a multi-rule table on a fixed specimen set — the unit of work the
+// improvement step performs dozens of times per round. The "pruned" variant
+// measures ScoreCandidates with a fresh evaluator per iteration (including
+// the incumbent usage evaluation it prunes against); "legacy" measures the
+// uncached full-batch path that simulates every (candidate, specimen) pair.
+func BenchmarkScoreMany(b *testing.B) {
+	cfg := benchConfig()
+	specimens := cfg.SampleSet(cfg.Specimens, sim.NewRNG(11))
+	tree := benchTree(b, cfg, specimens, 8)
+
+	// Improve the whisker the incumbent actually uses most, as the design
+	// procedure would.
+	setup := NewEvaluator(stats.DefaultObjective(1))
+	setup.Workers = 4
+	evaluation, err := setup.Evaluate(tree, specimens, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := evaluation.MostUsedAny()
+	if idx < 0 {
+		b.Fatal("no whisker used")
+	}
+	w, _ := tree.Whisker(idx)
+	candidates := w.Action.Neighbors(1)
+
+	b.Run("pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eval := NewEvaluator(stats.DefaultObjective(1))
+			eval.Workers = 4
+			incumbent, err := eval.EvaluateUsage(tree, specimens, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			trees := make([]*core.WhiskerTree, len(candidates))
+			for ci, cand := range candidates {
+				t, err := tree.WithAction(idx, cand)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trees[ci] = t
+			}
+			scores, err := eval.ScoreCandidates(incumbent, trees, idx, specimens, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(scores) != len(candidates) {
+				b.Fatal("score count")
+			}
+		}
+	})
+
+	b.Run("legacy", func(b *testing.B) {
+		eval := NewEvaluator(stats.DefaultObjective(1))
+		eval.Workers = 4
+		eval.NoCache = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trees := make([]*core.WhiskerTree, len(candidates))
+			for ci, cand := range candidates {
+				t := tree.Clone()
+				if err := t.SetAction(idx, cand); err != nil {
+					b.Fatal(err)
+				}
+				trees[ci] = t
+			}
+			scores, err := eval.ScoreMany(trees, specimens, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(scores) != len(candidates) {
+				b.Fatal("score count")
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package optimizer
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// TrainingState is the resumable state of a design run beyond the tree
+// itself. cmd/remy's -checkpoint flag saves it next to the tree after every
+// round so a long training survives interruption.
+type TrainingState struct {
+	// Round is the number of completed rounds — the next round to run.
+	Round int `json:"round"`
+	// Epoch is the rule-table epoch counter after those rounds.
+	Epoch int `json:"epoch"`
+	// Seed is the design seed the run started with; resuming under a
+	// different seed would silently change the specimen sequence, so
+	// LoadCheckpoint callers are expected to verify it.
+	Seed int64 `json:"seed"`
+	// ConfigHash fingerprints the design configuration and search knobs
+	// (Remy.ConfigFingerprint); resuming under a different model must be
+	// refused for the same reason as a different seed.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// TreeSHA256 is the hash of the tree file this state belongs to.
+	// Checkpoint writes are atomic per file but span two files; the hash
+	// turns a crash landing between them into a load error instead of a
+	// silent divergence from the uninterrupted run.
+	TreeSHA256 string `json:"tree_sha256"`
+}
+
+// ConfigFingerprint hashes everything that shapes the search trajectory —
+// the design range, the objective, and the search knobs — so a checkpoint
+// can refuse to resume under a different model.
+func (r *Remy) ConfigFingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v|%+v|rungs=%d iters=%d split=%d max=%d",
+		r.Config, r.Objective, r.CandidateRungs, r.ImprovementIters, r.EpochsPerSplit, r.MaxRules)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// statePath is where the training state lives relative to the tree file.
+func statePath(treePath string) string { return treePath + ".state" }
+
+// writeFileAtomic writes data via a temp file + rename so an interrupted
+// write can never leave a truncated file behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SaveCheckpoint writes the tree (in its normal SaveFile JSON format, so
+// the checkpoint doubles as a usable RemyCC) plus the training state. Both
+// files are written atomically, and the state records the tree hash, so a
+// crash at any point leaves either the previous complete checkpoint or the
+// new one — never a torn or mismatched pair that loads successfully.
+func SaveCheckpoint(treePath string, tree *core.WhiskerTree, st TrainingState) error {
+	data, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		return fmt.Errorf("optimizer: encoding checkpoint tree: %w", err)
+	}
+	if err := writeFileAtomic(treePath, data); err != nil {
+		return fmt.Errorf("optimizer: saving checkpoint tree: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	st.TreeSHA256 = hex.EncodeToString(sum[:])
+	stData, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(statePath(treePath), append(stData, '\n')); err != nil {
+		return fmt.Errorf("optimizer: saving checkpoint state: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint previously written by SaveCheckpoint.
+func LoadCheckpoint(treePath string) (*core.WhiskerTree, TrainingState, error) {
+	data, err := os.ReadFile(treePath)
+	if err != nil {
+		return nil, TrainingState{}, fmt.Errorf("optimizer: loading checkpoint tree: %w", err)
+	}
+	tree := &core.WhiskerTree{}
+	if err := json.Unmarshal(data, tree); err != nil {
+		return nil, TrainingState{}, fmt.Errorf("optimizer: parsing %s: %w", treePath, err)
+	}
+	stData, err := os.ReadFile(statePath(treePath))
+	if err != nil {
+		return nil, TrainingState{}, fmt.Errorf("optimizer: loading checkpoint state: %w", err)
+	}
+	var st TrainingState
+	if err := json.Unmarshal(stData, &st); err != nil {
+		return nil, TrainingState{}, fmt.Errorf("optimizer: parsing %s: %w", statePath(treePath), err)
+	}
+	if st.Round < 0 || st.Epoch < 0 {
+		return nil, TrainingState{}, fmt.Errorf("optimizer: corrupt checkpoint state %+v", st)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); st.TreeSHA256 != "" && st.TreeSHA256 != got {
+		return nil, TrainingState{}, fmt.Errorf(
+			"optimizer: checkpoint desynchronized: %s does not match the tree recorded in %s (interrupted save?)",
+			treePath, statePath(treePath))
+	}
+	return tree, st, nil
+}

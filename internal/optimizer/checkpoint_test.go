@@ -1,0 +1,134 @@
+package optimizer
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	tree := core.DefaultWhiskerTree()
+	tree.Split(0, core.Memory{AckEWMA: 10, SendEWMA: 10, RTTRatio: 2})
+	st := TrainingState{Round: 3, Epoch: 5, Seed: 42}
+	if err := SaveCheckpoint(path, tree, st); err != nil {
+		t.Fatal(err)
+	}
+	// The tree file is a plain RemyCC, loadable on its own.
+	if loaded, err := core.LoadFile(path); err != nil || loaded.NumWhiskers() != tree.NumWhiskers() {
+		t.Fatalf("checkpoint tree not independently loadable: %v", err)
+	}
+	back, bst, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Round != st.Round || bst.Epoch != st.Epoch || bst.Seed != st.Seed {
+		t.Errorf("state round trip: %+v != %+v", bst, st)
+	}
+	if bst.TreeSHA256 == "" {
+		t.Error("saved state must record the tree hash")
+	}
+	if back.CanonicalKey() != tree.CanonicalKey() {
+		t.Error("tree round trip changed behaviour")
+	}
+
+	// A tree/state pair from two different saves (crash between the writes)
+	// must be refused, not silently resumed.
+	other := core.DefaultWhiskerTree()
+	if err := other.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(path); err == nil {
+		t.Error("desynchronized checkpoint accepted")
+	}
+	if err := SaveCheckpoint(path, tree, st); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := LoadCheckpoint(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+	// A tree without its state file is an error, not a silent fresh start.
+	bare := filepath.Join(dir, "bare.json")
+	if err := tree.SaveFile(bare); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(bare); err == nil {
+		t.Error("checkpoint without state file accepted")
+	}
+	// Corrupt state is rejected.
+	os.WriteFile(statePath(bare), []byte(`{"round": -1}`), 0o644)
+	if _, _, err := LoadCheckpoint(bare); err == nil {
+		t.Error("corrupt state accepted")
+	}
+	os.WriteFile(statePath(bare), []byte(`not json`), 0o644)
+	if _, _, err := LoadCheckpoint(bare); err == nil {
+		t.Error("unparseable state accepted")
+	}
+}
+
+// TestOptimizeResumeEquivalence is the determinism guard behind -resume:
+// running N rounds one at a time through StartRound/StartEpoch (what
+// cmd/remy's checkpoint loop does) must produce the byte-identical tree of
+// a single uninterrupted Optimize call.
+func TestOptimizeResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs are too slow for -short")
+	}
+	const rounds = 3
+
+	oneShot := goldenRemyLike(t, 3)
+	wantTree, wantProg, err := oneShot.Optimize(nil, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(wantTree)
+
+	var tree *core.WhiskerTree
+	epoch := 0
+	var gotProg []Progress
+	for round := 0; round < rounds; round++ {
+		r := goldenRemyLike(t, 3)
+		r.StartRound, r.StartEpoch = round, epoch
+		next, prog, err := r.Optimize(tree, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, epoch = next, r.Epoch()
+		gotProg = append(gotProg, prog...)
+	}
+	got, _ := json.Marshal(tree)
+	if !bytes.Equal(got, want) {
+		t.Fatal("round-at-a-time training differs from the uninterrupted run")
+	}
+	if len(gotProg) != len(wantProg) {
+		t.Fatalf("progress length %d != %d", len(gotProg), len(wantProg))
+	}
+	for i := range wantProg {
+		if gotProg[i].Round != wantProg[i].Round || gotProg[i].Epoch != wantProg[i].Epoch ||
+			gotProg[i].Rules != wantProg[i].Rules || gotProg[i].Score != wantProg[i].Score {
+			t.Errorf("progress[%d]: %+v != %+v", i, gotProg[i], wantProg[i])
+		}
+	}
+}
+
+// goldenRemyLike builds a fresh small designer per call (the resume test
+// needs independent instances with identical knobs).
+func goldenRemyLike(t *testing.T, workers int) *Remy {
+	t.Helper()
+	cfg := tinyConfig()
+	r := New(cfg, stats.DefaultObjective(1))
+	r.Seed = 77
+	r.Workers = workers
+	r.CandidateRungs = 1
+	r.ImprovementIters = 1
+	r.EpochsPerSplit = 2
+	r.MaxRules = 16
+	return r
+}

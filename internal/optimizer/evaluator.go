@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -15,6 +16,87 @@ import (
 // rule for the median-split step, bounding memory use during long searches.
 const maxMemorySamplesPerWhisker = 4096
 
+// DefaultMaxCacheEntries bounds the evaluation memo cache. Entries are
+// per-(tree, specimen) usage summaries; when the bound is exceeded the cache
+// is cleared, which affects only speed, never results.
+const DefaultMaxCacheEntries = 1 << 16
+
+// specimenResult is the outcome of simulating one rule table on one
+// specimen network: the summed per-flow utilities, the number of flows that
+// contributed, and per-rule usage. Results are immutable once created, so
+// one result may be shared between cache entries — that sharing is how
+// usage-pruned candidate scoring transfers an incumbent's result to a
+// candidate that provably behaves identically on the specimen.
+type specimenResult struct {
+	sum   float64
+	flows int
+	// counts[i] is how many times rule i was used on an ACK.
+	counts []int64
+	// consulted[i] reports whether rule i was looked up at all, including
+	// the connection-(re)start lookups that do not count as uses. A rule
+	// with consulted[i] == false cannot have influenced the simulation.
+	consulted []bool
+	// samples[i] holds the memory points that triggered rule i; nil unless
+	// the evaluation was asked to collect them (Evaluate does, the cheaper
+	// usage-only paths do not).
+	samples [][]core.Memory
+}
+
+// evalKey identifies one deterministic simulation: the behaviour-relevant
+// encoding of the rule table, the specimen network (including its seed),
+// and the design configuration it runs under.
+type evalKey struct {
+	tree string
+	spec Specimen
+	cfg  ConfigRange
+}
+
+// EvalStats counts the work an Evaluator performed and the work it avoided.
+type EvalStats struct {
+	// SimulatedRuns is the number of (tree, specimen) simulations executed.
+	SimulatedRuns int64
+	// CacheHits is the number of (tree, specimen) evaluations served from
+	// the memo cache.
+	CacheHits int64
+	// PrunedRuns is the number of candidate (tree, specimen) simulations
+	// skipped because the incumbent never consulted the modified whisker on
+	// that specimen (the incumbent's result was transferred instead).
+	PrunedRuns int64
+}
+
+// Add returns the component-wise sum of two counter sets (for aggregating
+// stats across several Optimize calls, e.g. a checkpointed round loop).
+func (s EvalStats) Add(o EvalStats) EvalStats {
+	return EvalStats{
+		SimulatedRuns: s.SimulatedRuns + o.SimulatedRuns,
+		CacheHits:     s.CacheHits + o.CacheHits,
+		PrunedRuns:    s.PrunedRuns + o.PrunedRuns,
+	}
+}
+
+// CacheHitRate returns the fraction of evaluations served from the cache.
+func (s EvalStats) CacheHitRate() float64 {
+	total := s.SimulatedRuns + s.CacheHits + s.PrunedRuns
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// PruneRate returns the fraction of evaluations avoided by usage pruning.
+func (s EvalStats) PruneRate() float64 {
+	total := s.SimulatedRuns + s.CacheHits + s.PrunedRuns
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PrunedRuns) / float64(total)
+}
+
+func (s EvalStats) String() string {
+	return fmt.Sprintf("simulated=%d cache_hits=%d pruned=%d (hit_rate=%.1f%% prune_rate=%.1f%%)",
+		s.SimulatedRuns, s.CacheHits, s.PrunedRuns, 100*s.CacheHitRate(), 100*s.PruneRate())
+}
+
 // Evaluation is the outcome of simulating one candidate RemyCC on a set of
 // specimen networks.
 type Evaluation struct {
@@ -24,10 +106,16 @@ type Evaluation struct {
 	// UseCounts[i] is the number of times rule i was looked up.
 	UseCounts []int64
 	// MemorySamples[i] holds (a capped subset of) the memory points that
-	// triggered rule i, used to find the median split point.
+	// triggered rule i, used to find the median split point. Only Evaluate
+	// collects samples; usage-only evaluations leave this empty.
 	MemorySamples [][]core.Memory
 	// FlowsScored is the number of (specimen, flow) pairs that contributed.
 	FlowsScored int
+
+	// perSpec holds the per-specimen results (in specimen order) backing
+	// this evaluation; ScoreCandidates uses them to decide which specimens a
+	// modified whisker can actually affect.
+	perSpec []*specimenResult
 }
 
 // MostUsed returns the index of the most-used rule among those whose epoch
@@ -79,14 +167,20 @@ func (e Evaluation) MedianMemory(idx int) (core.Memory, bool) {
 	return core.Memory{AckEWMA: axis(0), SendEWMA: axis(1), RTTRatio: axis(2)}, true
 }
 
-// usageCollector implements core.UsageRecorder for one specimen simulation.
+// usageCollector implements core.UsageRecorder (and core.TouchRecorder) for
+// one specimen simulation.
 type usageCollector struct {
-	counts  []int64
-	samples [][]core.Memory
+	counts    []int64
+	consulted []bool
+	samples   [][]core.Memory // nil when sample collection is disabled
 }
 
-func newUsageCollector(n int) *usageCollector {
-	return &usageCollector{counts: make([]int64, n), samples: make([][]core.Memory, n)}
+func newUsageCollector(n int, collectSamples bool) *usageCollector {
+	u := &usageCollector{counts: make([]int64, n), consulted: make([]bool, n)}
+	if collectSamples {
+		u.samples = make([][]core.Memory, n)
+	}
+	return u
 }
 
 // RecordUse implements core.UsageRecorder.
@@ -95,23 +189,122 @@ func (u *usageCollector) RecordUse(idx int, m core.Memory) {
 		return
 	}
 	u.counts[idx]++
-	if len(u.samples[idx]) < maxMemorySamplesPerWhisker {
+	u.consulted[idx] = true
+	if u.samples != nil && len(u.samples[idx]) < maxMemorySamplesPerWhisker {
 		u.samples[idx] = append(u.samples[idx], m)
 	}
 }
 
-// Evaluator scores candidate rule tables on specimen networks.
+// RecordTouch implements core.TouchRecorder: connection-start lookups mark
+// the rule as consulted without counting as a use.
+func (u *usageCollector) RecordTouch(idx int) {
+	if idx < 0 || idx >= len(u.consulted) {
+		return
+	}
+	u.consulted[idx] = true
+}
+
+// Evaluator scores candidate rule tables on specimen networks. Every
+// (tree, specimen) simulation is deterministic, which the evaluator exploits
+// twice: results are memoized by the tree's behaviour-relevant canonical
+// key, and candidate trees that differ from an incumbent only in a rule a
+// specimen never consulted reuse the incumbent's result for that specimen
+// outright. Both shortcuts are exact — they return bit-identical data to a
+// fresh simulation.
 type Evaluator struct {
 	// Objective is the per-flow utility function (Equation 1).
 	Objective stats.Objective
 	// Workers bounds the number of concurrent specimen simulations; zero
 	// means one fewer than the number of CPUs.
 	Workers int
+	// NoCache disables the evaluation memo cache (and with it usage
+	// pruning, which transfers results through the cache). Every call then
+	// re-simulates from scratch — the pre-optimization behaviour, kept for
+	// benchmarking and equivalence tests.
+	NoCache bool
+	// NoPrune disables only the usage-pruned candidate scoring.
+	NoPrune bool
+	// MaxCacheEntries bounds the memo cache; <= 0 means
+	// DefaultMaxCacheEntries. Exceeding the bound clears the cache.
+	MaxCacheEntries int
+
+	mu    sync.Mutex
+	cache map[evalKey]*specimenResult
+	// seeded marks cache keys filled by usage-pruning transfer rather than
+	// simulation; the first lookup of such a key is counted as a pruned run
+	// instead of a cache hit.
+	seeded map[evalKey]bool
+	stats  EvalStats
 }
 
 // NewEvaluator returns an evaluator for the given objective.
 func NewEvaluator(obj stats.Objective) *Evaluator {
 	return &Evaluator{Objective: obj, Workers: defaultWorkers()}
+}
+
+// Stats returns the evaluator's cumulative work counters.
+func (e *Evaluator) Stats() EvalStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Evaluator) cacheGet(k evalKey, needSamples bool) *specimenResult {
+	if e.NoCache {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.cache[k]
+	if r == nil || (needSamples && r.samples == nil) {
+		return nil
+	}
+	if e.seeded[k] {
+		delete(e.seeded, k)
+		e.stats.PrunedRuns++
+	} else {
+		e.stats.CacheHits++
+	}
+	return r
+}
+
+func (e *Evaluator) cachePut(k evalKey, r *specimenResult) {
+	if e.NoCache {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ensureRoomLocked()
+	e.cache[k] = r
+}
+
+// cacheSeed transfers an incumbent's per-specimen result to a candidate key
+// whose simulation is provably identical. Keys that already hold a result
+// (e.g. a candidate re-proposed from an earlier iteration) are left alone —
+// those were avoided by memoization, not pruning.
+func (e *Evaluator) cacheSeed(k evalKey, r *specimenResult) {
+	if e.NoCache {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cache[k]; ok {
+		return
+	}
+	e.ensureRoomLocked()
+	e.cache[k] = r
+	e.seeded[k] = true
+}
+
+func (e *Evaluator) ensureRoomLocked() {
+	limit := e.MaxCacheEntries
+	if limit <= 0 {
+		limit = DefaultMaxCacheEntries
+	}
+	if e.cache == nil || len(e.cache) >= limit {
+		e.cache = make(map[evalKey]*specimenResult)
+		e.seeded = make(map[evalKey]bool)
+	}
 }
 
 // specFor builds the declarative scenario simulating the tree on one
@@ -125,6 +318,7 @@ func specFor(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.Us
 		scenario.WithQueue(scenario.QueueDropTail, cfg.QueueCapacityPackets),
 		scenario.WithDuration(cfg.SpecimenDuration.Seconds()),
 		scenario.WithSeed(spec.Seed),
+		scenario.WithoutSummaries(),
 		scenario.WithFlow(scenario.FlowSpec{
 			Scheme:   "remy-candidate",
 			Count:    spec.Senders,
@@ -187,41 +381,95 @@ func (e *Evaluator) flowUtility(m stats.FlowMetrics, fairShareBps float64) float
 	return u
 }
 
-// Evaluate simulates the tree on every specimen (in parallel) and returns
-// the aggregate score together with per-rule usage statistics.
-func (e *Evaluator) Evaluate(tree *core.WhiskerTree, specimens []Specimen, cfg ConfigRange) (Evaluation, error) {
-	if len(specimens) == 0 {
-		return Evaluation{}, fmt.Errorf("optimizer: no specimens to evaluate")
+// evaluateTrees resolves the per-specimen result of every (tree, specimen)
+// pair, serving what it can from the memo cache and simulating the rest as
+// one batch over the worker pool. out[t][s] is the result for trees[t] on
+// specimens[s]. Results are deterministic per (tree, specimen, cfg), so the
+// cache only changes speed, never values.
+func (e *Evaluator) evaluateTrees(trees []*core.WhiskerTree, specimens []Specimen, cfg ConfigRange, withSamples bool) ([][]*specimenResult, error) {
+	out := make([][]*specimenResult, len(trees))
+	keys := make([]string, len(trees))
+	for ti, tree := range trees {
+		out[ti] = make([]*specimenResult, len(specimens))
+		keys[ti] = tree.CanonicalKey()
 	}
-	n := tree.NumWhiskers()
+
+	type ref struct{ ti, si int }
+	var (
+		specs      []scenario.Spec
+		collectors []*usageCollector
+		pendKeys   []evalKey
+		pendRefs   [][]ref
+	)
+	pendingByKey := make(map[evalKey]int)
+	for ti, tree := range trees {
+		n := tree.NumWhiskers()
+		for si, sp := range specimens {
+			k := evalKey{tree: keys[ti], spec: sp, cfg: cfg}
+			if r := e.cacheGet(k, withSamples); r != nil {
+				out[ti][si] = r
+				continue
+			}
+			if pi, ok := pendingByKey[k]; ok {
+				pendRefs[pi] = append(pendRefs[pi], ref{ti, si})
+				continue
+			}
+			u := newUsageCollector(n, withSamples)
+			pendingByKey[k] = len(specs)
+			specs = append(specs, specFor(tree, sp, cfg, u))
+			collectors = append(collectors, u)
+			pendKeys = append(pendKeys, k)
+			pendRefs = append(pendRefs, []ref{{ti, si}})
+		}
+	}
+
+	if len(specs) > 0 {
+		results, err := e.runner().RunAll(specs)
+		if err != nil {
+			return nil, err
+		}
+		for pi, r := range results {
+			si := pendRefs[pi][0].si
+			sum, flows := e.scoreResult(r, specimens[si])
+			u := collectors[pi]
+			res := &specimenResult{sum: sum, flows: flows, counts: u.counts, consulted: u.consulted, samples: u.samples}
+			e.cachePut(pendKeys[pi], res)
+			for _, rf := range pendRefs[pi] {
+				out[rf.ti][rf.si] = res
+			}
+		}
+		e.mu.Lock()
+		e.stats.SimulatedRuns += int64(len(specs))
+		e.mu.Unlock()
+	}
+	return out, nil
+}
+
+// aggregate folds per-specimen results (in specimen order) into one
+// Evaluation for a tree with n rules.
+func (e *Evaluator) aggregate(n int, perSpec []*specimenResult) Evaluation {
 	eval := Evaluation{
 		UseCounts:     make([]int64, n),
 		MemorySamples: make([][]core.Memory, n),
+		perSpec:       perSpec,
 	}
-	// One spec per specimen, each with its own usage collector; the scenario
-	// runner spreads them over the worker pool and returns results in
-	// specimen order.
-	specs := make([]scenario.Spec, len(specimens))
-	usages := make([]*usageCollector, len(specimens))
-	for i, spec := range specimens {
-		usages[i] = newUsageCollector(n)
-		specs[i] = specFor(tree, spec, cfg, usages[i])
-	}
-	results, err := e.runner().RunAll(specs)
-	if err != nil {
-		return Evaluation{}, err
-	}
-
 	var total float64
-	for i, r := range results {
-		sum, flows := e.scoreResult(r, specimens[i])
-		total += sum
-		eval.FlowsScored += flows
-		usage := usages[i]
-		for idx, c := range usage.counts {
+	for _, r := range perSpec {
+		total += r.sum
+		eval.FlowsScored += r.flows
+		for idx, c := range r.counts {
 			eval.UseCounts[idx] += c
-			if len(eval.MemorySamples[idx]) < maxMemorySamplesPerWhisker {
-				eval.MemorySamples[idx] = append(eval.MemorySamples[idx], usage.samples[idx]...)
+			if r.samples == nil {
+				continue
+			}
+			// Truncate to the remaining budget so a bulk merge can never
+			// overshoot the per-whisker sample cap.
+			if remaining := maxMemorySamplesPerWhisker - len(eval.MemorySamples[idx]); remaining > 0 {
+				s := r.samples[idx]
+				if len(s) > remaining {
+					s = s[:remaining]
+				}
+				eval.MemorySamples[idx] = append(eval.MemorySamples[idx], s...)
 			}
 		}
 	}
@@ -230,7 +478,32 @@ func (e *Evaluator) Evaluate(tree *core.WhiskerTree, specimens []Specimen, cfg C
 	} else {
 		eval.Score = math.Inf(-1)
 	}
-	return eval, nil
+	return eval
+}
+
+// Evaluate simulates the tree on every specimen (in parallel) and returns
+// the aggregate score together with per-rule usage statistics, including
+// the memory samples the split step needs.
+func (e *Evaluator) Evaluate(tree *core.WhiskerTree, specimens []Specimen, cfg ConfigRange) (Evaluation, error) {
+	return e.evaluate(tree, specimens, cfg, true)
+}
+
+// EvaluateUsage is Evaluate without memory-sample collection: scores and
+// use counts only. This is the evaluation the improvement ladder runs on —
+// sample collection is deferred to the (much rarer) split step.
+func (e *Evaluator) EvaluateUsage(tree *core.WhiskerTree, specimens []Specimen, cfg ConfigRange) (Evaluation, error) {
+	return e.evaluate(tree, specimens, cfg, false)
+}
+
+func (e *Evaluator) evaluate(tree *core.WhiskerTree, specimens []Specimen, cfg ConfigRange, withSamples bool) (Evaluation, error) {
+	if len(specimens) == 0 {
+		return Evaluation{}, fmt.Errorf("optimizer: no specimens to evaluate")
+	}
+	per, err := e.evaluateTrees([]*core.WhiskerTree{tree}, specimens, cfg, withSamples)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return e.aggregate(tree.NumWhiskers(), per[0]), nil
 }
 
 // ScoreMany evaluates several candidate trees on the same specimen set (the
@@ -244,34 +517,53 @@ func (e *Evaluator) ScoreMany(trees []*core.WhiskerTree, specimens []Specimen, c
 	if len(specimens) == 0 {
 		return nil, fmt.Errorf("optimizer: no specimens to evaluate")
 	}
-	// All (tree, specimen) pairs become one batch of specs sharing the
-	// runner's worker pool, exactly as the paper prescribes for comparing
-	// candidate actions on identical networks and seeds.
-	specs := make([]scenario.Spec, 0, len(trees)*len(specimens))
-	for _, tree := range trees {
-		for _, spec := range specimens {
-			specs = append(specs, specFor(tree, spec, cfg, nil))
-		}
-	}
-	results, err := e.runner().RunAll(specs)
+	per, err := e.evaluateTrees(trees, specimens, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	sums := make([]float64, len(trees))
-	flows := make([]int, len(trees))
-	for i, r := range results {
-		ti, si := i/len(specimens), i%len(specimens)
-		sum, nf := e.scoreResult(r, specimens[si])
-		sums[ti] += sum
-		flows[ti] += nf
-	}
 	out := make([]float64, len(trees))
-	for i := range trees {
-		if flows[i] > 0 {
-			out[i] = sums[i] / float64(flows[i])
+	for ti := range trees {
+		var sum float64
+		flows := 0
+		for _, r := range per[ti] {
+			sum += r.sum
+			flows += r.flows
+		}
+		if flows > 0 {
+			out[ti] = sum / float64(flows)
 		} else {
-			out[i] = math.Inf(-1)
+			out[ti] = math.Inf(-1)
 		}
 	}
 	return out, nil
+}
+
+// ScoreCandidates scores candidate trees that each differ from the
+// incumbent evaluation's tree only in the action of whisker changed, on the
+// same specimen set the incumbent was evaluated on. Specimens whose flows
+// never consulted the changed whisker under the incumbent are not
+// re-simulated: a rule that was never looked up cannot have influenced the
+// specimen's trajectory, so the candidate's simulation there is identical
+// to the incumbent's and the incumbent's per-specimen result is transferred
+// outright. The remaining (affected) specimens are simulated as one batch.
+func (e *Evaluator) ScoreCandidates(incumbent Evaluation, trees []*core.WhiskerTree, changed int, specimens []Specimen, cfg ConfigRange) ([]float64, error) {
+	if len(trees) == 0 {
+		return nil, nil
+	}
+	if len(specimens) == 0 {
+		return nil, fmt.Errorf("optimizer: no specimens to evaluate")
+	}
+	if !e.NoPrune && !e.NoCache && len(incumbent.perSpec) == len(specimens) {
+		for _, tree := range trees {
+			ck := tree.CanonicalKey()
+			for si, sp := range specimens {
+				inc := incumbent.perSpec[si]
+				if changed < 0 || changed >= len(inc.consulted) || inc.consulted[changed] {
+					continue
+				}
+				e.cacheSeed(evalKey{tree: ck, spec: sp, cfg: cfg}, inc)
+			}
+		}
+	}
+	return e.ScoreMany(trees, specimens, cfg)
 }

@@ -56,10 +56,18 @@ type Remy struct {
 	// MaxRules stops subdividing once the table reaches this many rules
 	// (0 = unlimited). The paper's general-purpose RemyCCs have 162–204.
 	MaxRules int
+	// StartRound and StartEpoch let a checkpointed run resume exactly where
+	// it stopped: Optimize numbers its rounds from StartRound — deriving
+	// the same per-round specimen sets an uninterrupted run would have
+	// drawn — and starts the rule-table epoch counter at StartEpoch. Both
+	// are zero for a fresh run.
+	StartRound int
+	StartEpoch int
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
-	epoch int
+	epoch     int
+	evalStats EvalStats
 }
 
 // New returns a designer with the paper's default knobs.
@@ -80,6 +88,15 @@ func (r *Remy) logf(format string, args ...any) {
 		r.Logf(format, args...)
 	}
 }
+
+// Epoch returns the rule-table epoch counter after the last Optimize call
+// (checkpointing saves it so a resumed run can continue the count).
+func (r *Remy) Epoch() int { return r.epoch }
+
+// EvalStats returns the evaluator work counters of the last Optimize call:
+// how many specimen simulations ran, and how many were avoided by the memo
+// cache and by usage pruning.
+func (r *Remy) EvalStats() EvalStats { return r.evalStats }
 
 // Optimize runs the design loop for the given number of rounds, starting
 // from start (or the initial single-rule RemyCC when start is nil), and
@@ -104,10 +121,18 @@ func (r *Remy) Optimize(start *core.WhiskerTree, rounds int) (*core.WhiskerTree,
 
 	eval := NewEvaluator(r.Objective)
 	eval.Workers = r.Workers
+	r.epoch = r.StartEpoch
+
+	// Burn the specimen streams of already-completed rounds so a resumed
+	// run draws exactly the specimen sets an uninterrupted run would have.
 	rng := sim.NewRNG(r.Seed)
+	for done := 0; done < r.StartRound; done++ {
+		rng.Split(int64(done))
+	}
 
 	var progress []Progress
-	for round := 0; round < rounds; round++ {
+	for i := 0; i < rounds; i++ {
+		round := r.StartRound + i
 		specimens := r.Config.SampleSet(r.Config.Specimens, rng.Split(int64(round)))
 		p, err := r.optimizeRound(tree, eval, specimens, round)
 		if err != nil {
@@ -116,6 +141,8 @@ func (r *Remy) Optimize(start *core.WhiskerTree, rounds int) (*core.WhiskerTree,
 		progress = append(progress, p)
 		r.logf("%s", p)
 	}
+	r.evalStats = eval.Stats()
+	r.logf("evaluator: %s", r.evalStats)
 	return tree, progress, nil
 }
 
@@ -128,22 +155,29 @@ func (r *Remy) optimizeRound(tree *core.WhiskerTree, eval *Evaluator, specimens 
 
 	// Steps 2–3: repeatedly pick the most-used rule of this epoch and
 	// improve its action until no candidate improves the score, then retire
-	// it from this epoch.
+	// it from this epoch. One usage evaluation is performed up front;
+	// afterwards the evaluation of the current tree is carried through the
+	// loop — improveAction returns the evaluation matching the tree it
+	// leaves behind (unchanged when nothing was adopted, assembled from the
+	// winning candidate's cached runs when something was), so the
+	// re-evaluation the pre-optimization loop ran at the top of every pick
+	// iteration is never a fresh simulation batch.
+	evaluation, err := eval.EvaluateUsage(tree, specimens, r.Config)
+	if err != nil {
+		return prog, err
+	}
+	prog.Evaluated++
 	for {
-		evaluation, err := eval.Evaluate(tree, specimens, r.Config)
-		if err != nil {
-			return prog, err
-		}
-		prog.Evaluated++
 		idx := evaluation.MostUsed(tree, r.epoch)
 		if idx < 0 {
 			prog.Score = evaluation.Score
 			break
 		}
-		improved, evaluated, err := r.improveAction(tree, eval, specimens, idx, evaluation.Score)
+		improved, evaluated, next, err := r.improveAction(tree, eval, specimens, idx, evaluation)
 		if err != nil {
 			return prog, err
 		}
+		evaluation = next
 		prog.Evaluated += evaluated
 		if improved {
 			prog.Improved++
@@ -153,17 +187,19 @@ func (r *Remy) optimizeRound(tree *core.WhiskerTree, eval *Evaluator, specimens 
 		}
 	}
 
-	// Step 4: advance the global epoch; every K epochs, subdivide.
+	// Step 4: advance the global epoch; every K epochs, subdivide. The
+	// split needs the median memory point that triggered the most-used
+	// rule, so this is the one evaluation that collects memory samples.
 	r.epoch++
 	if r.epoch%r.epochsPerSplit() == 0 && (r.MaxRules <= 0 || tree.NumWhiskers() < r.MaxRules) {
-		evaluation, err := eval.Evaluate(tree, specimens, r.Config)
+		full, err := eval.Evaluate(tree, specimens, r.Config)
 		if err != nil {
 			return prog, err
 		}
 		prog.Evaluated++
-		idx := evaluation.MostUsedAny()
+		idx := full.MostUsedAny()
 		if idx >= 0 {
-			median, ok := evaluation.MedianMemory(idx)
+			median, ok := full.MedianMemory(idx)
 			if !ok {
 				w, _ := tree.Whisker(idx)
 				median = w.Domain.Midpoint()
@@ -182,12 +218,16 @@ func (r *Remy) optimizeRound(tree *core.WhiskerTree, eval *Evaluator, specimens 
 // improveAction performs §4.3 step 3 for one rule: evaluate a ladder of
 // candidate modifications to the rule's action on the same specimen
 // networks, adopt the best improvement, and repeat until nothing improves.
-// It returns whether any improvement was adopted and how many candidate
-// trees were evaluated.
-func (r *Remy) improveAction(tree *core.WhiskerTree, eval *Evaluator, specimens []Specimen, idx int, baseline float64) (bool, int, error) {
+// Candidates are built copy-on-write (structure shared with the incumbent)
+// and scored through ScoreCandidates, which skips the specimens the
+// modified rule cannot affect. It returns whether any improvement was
+// adopted, how many candidate trees were evaluated, and the evaluation of
+// the tree as it stands on return — the caller reuses it instead of
+// re-evaluating.
+func (r *Remy) improveAction(tree *core.WhiskerTree, eval *Evaluator, specimens []Specimen, idx int, current Evaluation) (bool, int, Evaluation, error) {
 	improvedAny := false
 	evaluated := 0
-	bestScore := baseline
+	bestScore := current.Score
 
 	iters := r.ImprovementIters
 	if iters <= 0 {
@@ -201,7 +241,7 @@ func (r *Remy) improveAction(tree *core.WhiskerTree, eval *Evaluator, specimens 
 	for iter := 0; iter < iters; iter++ {
 		w, err := tree.Whisker(idx)
 		if err != nil {
-			return improvedAny, evaluated, err
+			return improvedAny, evaluated, current, err
 		}
 		candidates := w.Action.Neighbors(rungs)
 		if len(candidates) == 0 {
@@ -209,15 +249,15 @@ func (r *Remy) improveAction(tree *core.WhiskerTree, eval *Evaluator, specimens 
 		}
 		trees := make([]*core.WhiskerTree, len(candidates))
 		for i, cand := range candidates {
-			t := tree.Clone()
-			if err := t.SetAction(idx, cand); err != nil {
-				return improvedAny, evaluated, err
+			t, err := tree.WithAction(idx, cand)
+			if err != nil {
+				return improvedAny, evaluated, current, err
 			}
 			trees[i] = t
 		}
-		scores, err := eval.ScoreMany(trees, specimens, r.Config)
+		scores, err := eval.ScoreCandidates(current, trees, idx, specimens, r.Config)
 		if err != nil {
-			return improvedAny, evaluated, err
+			return improvedAny, evaluated, current, err
 		}
 		evaluated += len(trees)
 
@@ -232,11 +272,18 @@ func (r *Remy) improveAction(tree *core.WhiskerTree, eval *Evaluator, specimens 
 			break
 		}
 		if err := tree.SetAction(idx, candidates[bestCand]); err != nil {
-			return improvedAny, evaluated, err
+			return improvedAny, evaluated, current, err
 		}
 		improvedAny = true
+		// Refresh the incumbent evaluation: every specimen of the adopted
+		// candidate was either simulated just now or transferred from the
+		// previous incumbent, so this is served entirely from the cache.
+		current, err = eval.EvaluateUsage(tree, specimens, r.Config)
+		if err != nil {
+			return improvedAny, evaluated, current, err
+		}
 	}
-	return improvedAny, evaluated, nil
+	return improvedAny, evaluated, current, nil
 }
 
 func (r *Remy) epochsPerSplit() int {

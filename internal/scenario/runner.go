@@ -93,7 +93,9 @@ func (r Runner) run(specIndex, rep int, spec *Spec) Result {
 		return out
 	}
 	out.Res = res
-	out.summarize()
+	if !spec.SkipSummaries {
+		out.summarize()
+	}
 	return out
 }
 

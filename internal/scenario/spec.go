@@ -96,6 +96,13 @@ type Spec struct {
 	// MTU is the packet size in bytes; 0 means the simulator default.
 	MTU int `json:"mtu,omitempty"`
 
+	// SkipSummaries suppresses the per-result throughput/delay summary
+	// computation. Batch consumers that read the raw flow metrics directly
+	// (the optimizer scores thousands of candidate runs per round) set this
+	// to keep the hot loop free of per-run slice allocations. Not part of
+	// the JSON form.
+	SkipSummaries bool `json:"-"`
+
 	// OnDeliver, if set, observes every packet delivered to a receiver
 	// (sequence plots). Invoked from the worker goroutine executing the run,
 	// so it is only allowed on single-repetition specs (Validate rejects it
@@ -274,6 +281,12 @@ func WithFlows(n int, scheme string, rttMs float64, w WorkloadSpec) Option {
 	return func(s *Spec) {
 		s.Flows = append(s.Flows, FlowSpec{Scheme: scheme, Count: n, RTTMs: rttMs, Workload: w})
 	}
+}
+
+// WithoutSummaries suppresses the per-result throughput/delay summaries
+// (programmatic use only; for batch consumers that read raw flow metrics).
+func WithoutSummaries() Option {
+	return func(s *Spec) { s.SkipSummaries = true }
 }
 
 // WithOnDeliver installs a delivery observer (programmatic use only).
