@@ -99,8 +99,25 @@ func main() {
 			i, m.Mbps(), m.QueueingDelayMs(), m.LossRate(), m.OnDuration, m.PacketsSent)
 	}
 	fmt.Printf("\nmedians: %.3f Mbps, %.2f ms queueing delay\n", stats.Median(tputs), stats.Median(delays))
-	fmt.Printf("bottleneck: offered %d, delivered %d, dropped %d packets\n",
-		first.Res.Offered, first.Res.Delivered, first.Res.Dropped)
+
+	// Topology specs route flows over several links: a single "bottleneck"
+	// line would mix network-wide counters with one link's delivery count,
+	// so show network totals plus each link's share instead.
+	if spec.Topology == nil {
+		fmt.Printf("bottleneck: offered %d, delivered %d, dropped %d packets\n",
+			first.Res.Offered, first.Res.Delivered, first.Res.Dropped)
+	} else {
+		fmt.Printf("network: offered %d, dropped %d data packets across all first hops\n",
+			first.Res.Offered, first.Res.Dropped)
+		fmt.Println("per-link counters:")
+		for _, l := range first.Res.Links {
+			fmt.Printf("  %-12s delivered %8d pkts %14d bytes   queue drops %6d\n",
+				l.Name, l.Delivered, l.DeliveredBytes, l.Drops)
+		}
+		if first.Res.AcksDropped > 0 {
+			fmt.Printf("  acks dropped on reverse links: %d\n", first.Res.AcksDropped)
+		}
+	}
 
 	fmt.Println("\nper-repetition summaries:")
 	for _, res := range results {

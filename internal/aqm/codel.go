@@ -32,7 +32,18 @@ type CoDel struct {
 	target   sim.Time
 	interval sim.Time
 
+	// maxPacket is the reference's maxpacket_: the largest packet size seen,
+	// used for the tiny-queue exemption (a standing queue of at most one max
+	// packet is unavoidable at line rate and never counts as "above
+	// target"). Tracking it — rather than assuming MTU-sized packets — keeps
+	// CoDel effective on links carrying small packets, such as the ack-only
+	// reverse paths of asymmetric topologies.
+	maxPacket int
+
 	// CoDel state machine (straight from the reference pseudocode).
+	// lastDropCount is the reference's lastcount: the drop count reached when
+	// the previous dropping cycle ended, recorded on *exit* from the dropping
+	// state so a quick re-entry resumes from the recent drop rate.
 	firstAboveTime sim.Time
 	dropNext       sim.Time
 	dropCount      int
@@ -81,6 +92,9 @@ func (q *CoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 		q.drops++
 		return false
 	}
+	if p.Size > q.maxPacket {
+		q.maxPacket = p.Size
+	}
 	p.EnqueuedAt = now
 	q.queue = append(q.queue, p)
 	q.bytes += p.Size
@@ -105,7 +119,7 @@ func (q *CoDel) doDequeue(now sim.Time) (*netsim.Packet, bool) {
 	}
 	p := q.popHead()
 	sojourn := now - p.EnqueuedAt
-	if sojourn < q.target || q.bytes <= 2*netsim.MTU {
+	if sojourn < q.target || q.bytes <= q.maxPacket {
 		q.firstAboveTime = 0
 		return p, true
 	}
@@ -121,26 +135,37 @@ func (q *CoDel) controlLaw(t sim.Time) sim.Time {
 	return t + sim.Time(float64(q.interval)/math.Sqrt(float64(q.dropCount)))
 }
 
+// exitDropping leaves the dropping state, recording the drop count the cycle
+// reached (the reference pseudocode's "lastcount = count" on exit) so that a
+// re-entry within an interval resumes from the recent drop rate instead of
+// restarting the square-root schedule from scratch.
+func (q *CoDel) exitDropping() {
+	if q.dropping {
+		q.lastDropCount = q.dropCount
+		q.dropping = false
+	}
+}
+
 // Dequeue implements netsim.Queue, applying the CoDel drop law.
 func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
 	p, okToDequeue := q.doDequeue(now)
 	if p == nil {
-		q.dropping = false
+		q.exitDropping()
 		return nil
 	}
 	if q.dropping {
 		if okToDequeue {
-			q.dropping = false
+			q.exitDropping()
 		} else {
 			for now >= q.dropNext && q.dropping {
 				q.dropped(p)
 				p, okToDequeue = q.doDequeue(now)
 				if p == nil {
-					q.dropping = false
+					q.exitDropping()
 					return nil
 				}
 				if okToDequeue {
-					q.dropping = false
+					q.exitDropping()
 				} else {
 					q.dropNext = q.controlLaw(q.dropNext)
 				}
@@ -148,27 +173,27 @@ func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
 		}
 	} else if !okToDequeue && (now-q.dropNext < q.interval || now-q.firstAboveTime >= q.interval) {
 		// Enter the dropping state: drop this packet and set the next drop
-		// time by the control law.
+		// time by the control law, resuming from the recent drop rate if the
+		// previous dropping cycle ended less than an interval ago (the
+		// reference's "count = count>2 ? count-2 : 1" hysteresis, where count
+		// persists from the last cycle as lastDropCount).
 		q.dropped(p)
 		p, _ = q.doDequeue(now)
 		q.dropping = true
-		if p == nil {
-			q.dropping = false
-			return nil
-		}
-		// Start the drop clock, reusing the recent drop count if we were
-		// dropping recently (hysteresis from the reference implementation).
-		if now-q.dropNext < q.interval {
-			if q.lastDropCount > 2 {
-				q.dropCount = q.lastDropCount - 2
-			} else {
-				q.dropCount = 1
-			}
+		if now-q.dropNext < q.interval && q.lastDropCount > 2 {
+			q.dropCount = q.lastDropCount - 2
 		} else {
 			q.dropCount = 1
 		}
-		q.lastDropCount = q.dropCount
+		// The reference sets drop_next unconditionally on entry; doing it
+		// before the empty-queue early exit below keeps drop_next fresh for
+		// the next cycle's recency check even when the entry drop drained
+		// the queue.
 		q.dropNext = q.controlLaw(now)
+		if p == nil {
+			q.exitDropping()
+			return nil
+		}
 	}
 	return p
 }

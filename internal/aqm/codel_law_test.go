@@ -1,0 +1,198 @@
+package aqm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// These tests pin CoDel's drop scheduling against the Nichols–Jacobson
+// reference pseudocode (ACM Queue, 2012): the square-root control law, the
+// entry condition, and the "resume from recent drop rate" hysteresis where
+// lastcount is the count reached when the previous dropping cycle *ended*.
+
+// topUp keeps the queue saturated with packets that have already sojourned
+// 50 ms (far above target), so every dequeue sees ok_to_drop conditions and
+// the queue never drains below the 2-MTU floor.
+func topUp(q *CoDel, now sim.Time, n int) {
+	for q.Len() < n {
+		q.Enqueue(&netsim.Packet{Size: 1500}, now-50*sim.Millisecond)
+	}
+}
+
+// TestCoDelControlLawSchedule drives a persistently saturated CoDel at a
+// 1 ms dequeue grid and checks the exact drop times against an independent
+// replay of the reference pseudocode's schedule.
+func TestCoDelControlLawSchedule(t *testing.T) {
+	q, err := NewCoDel(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := sim.Millisecond
+	var drops []sim.Time
+	var prev int64
+	for now := sim.Time(0); now <= 2*sim.Second; now += step {
+		topUp(q, now, 8)
+		if q.Dequeue(now) == nil {
+			t.Fatalf("unexpected empty dequeue at %v", now)
+		}
+		if d := q.Drops(); d > prev {
+			for ; prev < d; prev++ {
+				drops = append(drops, now)
+			}
+		}
+	}
+	if len(drops) < 8 {
+		t.Fatalf("only %d drops in 2 s of saturation", len(drops))
+	}
+
+	// Reference replay. The first packet dequeued at t=0 is 50 ms old, so
+	// first_above_time = 0 + interval. With drop_next = 0, the entry condition
+	// (now - drop_next < interval || now - first_above_time >= interval) first
+	// holds at now = first_above_time + interval = 200 ms on the 1 ms grid:
+	// that dequeue drops with count = 1 and schedules
+	// drop_next = now + interval/sqrt(count). Every later drop happens at the
+	// first grid point at or after drop_next, with count incremented and
+	// drop_next advanced from its own exact value (not the grid point).
+	interval := CoDelInterval
+	ceilGrid := func(x sim.Time) sim.Time {
+		return ((x + step - 1) / step) * step
+	}
+	law := func(at sim.Time, count int) sim.Time {
+		return at + sim.Time(float64(interval)/math.Sqrt(float64(count)))
+	}
+	entry := 2 * interval // first_above_time (= interval) + interval
+	if drops[0] != entry {
+		t.Fatalf("first drop at %v, want %v", drops[0], entry)
+	}
+	count := 1
+	dropNext := law(entry, count)
+	for i := 1; i < len(drops); i++ {
+		want := ceilGrid(dropNext)
+		if drops[i] != want {
+			t.Fatalf("drop %d at %v, want %v (count %d, drop_next %v)", i, drops[i], want, count, dropNext)
+		}
+		count++
+		dropNext = law(dropNext, count)
+	}
+}
+
+// saturateUntilCount drives the queue at a 1 ms grid from start until the
+// dropping state's count reaches atLeast, returning the time after the last
+// dequeue.
+func saturateUntilCount(t *testing.T, q *CoDel, start sim.Time, atLeast int) sim.Time {
+	t.Helper()
+	now := start
+	for limit := 0; limit < 5000; limit++ {
+		topUp(q, now, 8)
+		q.Dequeue(now)
+		now += sim.Millisecond
+		if q.dropping && q.dropCount >= atLeast {
+			return now
+		}
+	}
+	t.Fatalf("dropping count never reached %d", atLeast)
+	return 0
+}
+
+// drainUntilExit dequeues without topping up until the queue drains below
+// the 2-MTU floor and CoDel leaves the dropping state.
+func drainUntilExit(t *testing.T, q *CoDel, start sim.Time) sim.Time {
+	t.Helper()
+	now := start
+	for limit := 0; limit < 5000; limit++ {
+		q.Dequeue(now)
+		now += sim.Millisecond
+		if !q.dropping {
+			return now
+		}
+	}
+	t.Fatal("never left the dropping state")
+	return 0
+}
+
+// TestCoDelReentryResumesFromRecentCount is the regression test for the
+// drop-state hysteresis: lastcount must be the count the previous dropping
+// cycle reached at exit, so a re-entry within an interval starts at
+// lastcount-2 — not at the stale count recorded when that cycle was entered
+// (which is always 1 for a first cycle).
+func TestCoDelReentryResumesFromRecentCount(t *testing.T) {
+	q, err := NewCoDelWithParams(1000, 5*sim.Millisecond, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := saturateUntilCount(t, q, 0, 5)
+	exitCount := q.dropCount
+	now = drainUntilExit(t, q, now)
+	if q.lastDropCount != exitCount {
+		t.Fatalf("lastcount = %d after exit, want the cycle's final count %d", q.lastDropCount, exitCount)
+	}
+
+	// Re-enter promptly: resaturate and dequeue until dropping resumes. The
+	// first re-entry drop must start from lastcount-2, resuming the recent
+	// drop rate.
+	for limit := 0; limit < 1000 && !q.dropping; limit++ {
+		topUp(q, now, 8)
+		q.Dequeue(now)
+		now += sim.Millisecond
+	}
+	if !q.dropping {
+		t.Fatal("never re-entered the dropping state")
+	}
+	if want := exitCount - 2; q.dropCount != want {
+		t.Errorf("re-entry count = %d, want %d (= exit count %d - 2)", q.dropCount, want, exitCount)
+	}
+}
+
+// TestCoDelDropsSmallPacketStandingQueue: the tiny-queue exemption must be
+// one largest-seen packet (the reference's maxpacket), not a fixed multiple
+// of the MTU — otherwise CoDel is inert on links carrying small packets,
+// such as the ack-only reverse path of an asymmetric topology. A standing
+// queue of 50 40-byte acks (2000 B) sojourning 50 ms is 10x over target and
+// must enter the dropping state.
+func TestCoDelDropsSmallPacketStandingQueue(t *testing.T) {
+	q, err := NewCoDel(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(0); now <= 2*sim.Second; now += sim.Millisecond {
+		for q.Len() < 50 {
+			q.Enqueue(&netsim.Packet{Size: 40}, now-50*sim.Millisecond)
+		}
+		q.Dequeue(now)
+	}
+	if q.Drops() == 0 {
+		t.Error("CoDel never dropped a persistently above-target queue of small packets")
+	}
+}
+
+// TestCoDelReentryAfterQuietPeriodRestartsAtOne: once the path has been calm
+// for longer than an interval past drop_next, a new dropping cycle restarts
+// the schedule at count 1.
+func TestCoDelReentryAfterQuietPeriodRestartsAtOne(t *testing.T) {
+	q, err := NewCoDelWithParams(1000, 5*sim.Millisecond, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := saturateUntilCount(t, q, 0, 5)
+	now = drainUntilExit(t, q, now)
+	if q.lastDropCount < 5 {
+		t.Fatalf("lastcount = %d, want >= 5", q.lastDropCount)
+	}
+
+	// A long quiet gap: well over an interval beyond any scheduled drop_next.
+	now += 10 * sim.Second
+	for limit := 0; limit < 1000 && !q.dropping; limit++ {
+		topUp(q, now, 8)
+		q.Dequeue(now)
+		now += sim.Millisecond
+	}
+	if !q.dropping {
+		t.Fatal("never re-entered the dropping state")
+	}
+	if q.dropCount != 1 {
+		t.Errorf("re-entry count after quiet period = %d, want 1", q.dropCount)
+	}
+}

@@ -22,6 +22,11 @@ type SfqCoDel struct {
 	length   int
 	bytes    int
 	drops    int64
+
+	// dropHook is the external observer of dequeue-time drops; the buckets'
+	// own hooks point at onBucketDrop, which keeps the aggregate counters
+	// exact (per dropped packet size, not an MTU guess) and then forwards.
+	dropHook func(*netsim.Packet)
 }
 
 // NewSfqCoDel builds an sfqCoDel discipline with the given number of
@@ -50,17 +55,28 @@ func NewSfqCoDelWithParams(buckets, capacity int, target, interval sim.Time) (*S
 		if err != nil {
 			return nil, err
 		}
+		c.SetDropHook(q.onBucketDrop)
 		q.buckets[i] = c
 	}
 	return q, nil
 }
 
-// SetDropHook installs the dequeue-time drop observer on every bucket.
-func (q *SfqCoDel) SetDropHook(fn func(*netsim.Packet)) {
-	for _, b := range q.buckets {
-		b.SetDropHook(fn)
+// onBucketDrop accounts one CoDel dequeue-time drop against the aggregate
+// counters and forwards the packet to the external observer.
+func (q *SfqCoDel) onBucketDrop(p *netsim.Packet) {
+	q.drops++
+	q.length--
+	q.bytes -= p.Size
+	if q.bytes < 0 {
+		q.bytes = 0
+	}
+	if q.dropHook != nil {
+		q.dropHook(p)
 	}
 }
+
+// SetDropHook installs the dequeue-time drop observer.
+func (q *SfqCoDel) SetDropHook(fn func(*netsim.Packet)) { q.dropHook = fn }
 
 // bucketFor hashes a flow id onto a bucket. With far fewer flows than
 // buckets (the common case) every flow gets its own queue, which is the
@@ -110,20 +126,8 @@ func (q *SfqCoDel) Dequeue(now sim.Time) *netsim.Packet {
 			q.deficits[b] += q.quantum
 			continue
 		}
-		before := bucket.Drops()
 		p := bucket.Dequeue(now)
-		// Account CoDel's dequeue-time drops against our counters too.
-		dropped := bucket.Drops() - before
-		q.drops += dropped
-		q.length -= int(dropped)
-		for i := int64(0); i < dropped; i++ {
-			// Dropped packets' bytes are no longer queued; CoDel already
-			// adjusted its own byte count, mirror it here conservatively.
-			q.bytes -= netsim.MTU
-			if q.bytes < 0 {
-				q.bytes = 0
-			}
-		}
+		// CoDel's dequeue-time drops are accounted by onBucketDrop.
 		if p == nil {
 			q.active = q.active[1:]
 			q.inActive[b] = false

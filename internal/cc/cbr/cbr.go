@@ -1,0 +1,55 @@
+// Package cbr implements a constant-bit-rate, congestion-unresponsive
+// sender: it paces packets at a fixed rate and ignores every congestion
+// signal. It models the on/off cross traffic (streaming video, tunneled
+// aggregates) that the beyond-dumbbell scenarios subject responsive schemes
+// to — the "senders not under the control of the protocol designer" case the
+// paper's §7 leaves open.
+package cbr
+
+import (
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// windowCap bounds the packets the transport may keep outstanding so a
+// blackholed path cannot grow sender state without bound; at any plausible
+// rate it is far above the bandwidth-delay product, so the pacing gap — never
+// the window — is what limits the send rate.
+const windowCap = 1 << 14
+
+// CBR is the unresponsive constant-rate algorithm.
+type CBR struct {
+	gap sim.Time
+}
+
+// New returns a CBR sender transmitting packetBytes-sized segments at
+// rateBps. rateBps must be positive.
+func New(rateBps float64, packetBytes int) *CBR {
+	gap := sim.FromSeconds(float64(packetBytes) * 8 / rateBps)
+	if gap < 1 {
+		gap = 1 // quantize to the engine's microsecond tick
+	}
+	return &CBR{gap: gap}
+}
+
+// Name implements cc.Algorithm.
+func (c *CBR) Name() string { return "cbr" }
+
+// Reset implements cc.Algorithm.
+func (c *CBR) Reset(now sim.Time) {}
+
+// OnAck implements cc.Algorithm: acknowledgments do not change the rate.
+func (c *CBR) OnAck(ev cc.AckEvent) {}
+
+// OnLoss implements cc.Algorithm: losses are ignored (unresponsive).
+func (c *CBR) OnLoss(now sim.Time) {}
+
+// OnTimeout implements cc.Algorithm: timeouts are ignored (unresponsive).
+func (c *CBR) OnTimeout(now sim.Time) {}
+
+// Window implements cc.Algorithm: effectively unbounded, so pacing alone
+// controls the send rate.
+func (c *CBR) Window() float64 { return windowCap }
+
+// PacingGap implements cc.Algorithm.
+func (c *CBR) PacingGap() sim.Time { return c.gap }

@@ -28,8 +28,15 @@ type Cubic struct {
 	wMax       float64  // window size just before the last reduction
 	epochStart sim.Time // start of the current congestion-avoidance epoch
 	k          float64  // time to grow back to wMax (seconds)
-	ackCount   float64  // acks accumulated for the Reno-friendly estimate
-	wEst       float64  // TCP-friendly window estimate
+	wEst       float64  // TCP-friendly window estimate (RFC 8312 §4.2)
+}
+
+// FriendlyWindow is RFC 8312's W_est: the window an AIMD flow with the same
+// β would have reached t seconds into the congestion-avoidance epoch,
+// W_est(t) = W_max·β + [3(1−β)/(1+β)]·(t/RTT). Cubic never grows slower than
+// this, so it is no less aggressive than standard TCP.
+func FriendlyWindow(wMax, elapsedSeconds, rttSeconds float64) float64 {
+	return wMax*BetaCubic + 3*(1-BetaCubic)/(1+BetaCubic)*(elapsedSeconds/rttSeconds)
 }
 
 // New returns a Cubic algorithm instance.
@@ -49,7 +56,6 @@ func (c *Cubic) Reset(now sim.Time) {
 	c.wMax = 0
 	c.epochStart = -1
 	c.k = 0
-	c.ackCount = 0
 	c.wEst = 0
 }
 
@@ -78,16 +84,15 @@ func (c *Cubic) OnAck(ev cc.AckEvent) {
 		} else {
 			c.k = math.Cbrt((c.wMax - c.cwnd) / C)
 		}
-		c.ackCount = 0
-		c.wEst = c.cwnd
 	}
+	// TCP-friendly region (RFC 8312 §4.2): W_est is a function of the time
+	// elapsed in this congestion-avoidance epoch, so the AIMD floor grows
+	// with the clock, not with how many acks happened to arrive.
+	elapsed := (ev.Now - c.epochStart).Seconds()
+	c.wEst = FriendlyWindow(c.wMax, elapsed, rtt.Seconds())
 	for i := 0; i < ev.NewlyAcked; i++ {
-		t := (ev.Now - c.epochStart).Seconds() + rtt.Seconds()
+		t := elapsed + rtt.Seconds()
 		target := C*math.Pow(t-c.k, 3) + c.wMax
-
-		// TCP-friendly region (standard AIMD estimate with beta = 0.7).
-		c.ackCount++
-		c.wEst = c.wMax*BetaCubic + 3*(1-BetaCubic)/(1+BetaCubic)*(c.ackCount/c.cwnd)
 		if target < c.wEst {
 			target = c.wEst
 		}
@@ -131,3 +136,6 @@ func (c *Cubic) PacingGap() sim.Time { return 0 }
 
 // WMax exposes the last-loss window for tests.
 func (c *Cubic) WMax() float64 { return c.wMax }
+
+// WEst exposes the current TCP-friendly window estimate for tests.
+func (c *Cubic) WEst() float64 { return c.wEst }

@@ -107,6 +107,65 @@ func TestCubicTimeout(t *testing.T) {
 	}
 }
 
+// TestCubicFriendlyWindowRFCValues pins W_est against hand-computed values of
+// RFC 8312 §4.2: W_est(t) = W_max·β + [3(1−β)/(1+β)]·(t/RTT) with β = 0.7.
+func TestCubicFriendlyWindowRFCValues(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		wMax, elapsed, rtt, want float64
+	}{
+		// W_est(0) = 100·0.7 = 70.
+		{wMax: 100, elapsed: 0, rtt: 0.1, want: 70},
+		// 100·0.7 + (0.9/1.7)·(1/0.1) = 70 + 5.2941176... = 75.294117647058...
+		{wMax: 100, elapsed: 1, rtt: 0.1, want: 70 + (0.9/1.7)*10},
+		// 100·0.7 + (0.9/1.7)·(2.5/0.05) = 70 + 26.47058... = 96.47058823...
+		{wMax: 100, elapsed: 2.5, rtt: 0.05, want: 70 + (0.9/1.7)*50},
+		// 40·0.7 + (0.9/1.7)·(0.3/0.15) = 28 + 1.0588235...
+		{wMax: 40, elapsed: 0.3, rtt: 0.15, want: 28 + (0.9/1.7)*2},
+	}
+	for _, tc := range cases {
+		got := FriendlyWindow(tc.wMax, tc.elapsed, tc.rtt)
+		if diff := got - tc.want; diff > tol || diff < -tol {
+			t.Errorf("FriendlyWindow(%v, %v, %v) = %.12f, want %.12f",
+				tc.wMax, tc.elapsed, tc.rtt, got, tc.want)
+		}
+	}
+	// Hand-computed literal (not re-derived from the formula): one RTT-seconds
+	// ratio of 10 at β = 0.7 adds exactly 90/17 ≈ 5.294117647058823 packets.
+	if got := FriendlyWindow(100, 1, 0.1); got < 75.2941176470 || got > 75.2941176471 {
+		t.Errorf("FriendlyWindow(100, 1, 0.1) = %.12f, want 75.294117647059", got)
+	}
+}
+
+// TestCubicWEstTracksElapsedTime is the regression test for the TCP-friendly
+// region: W_est must be a function of elapsed epoch time, so two flows that
+// saw the same clock but different ack counts agree on it, and it matches the
+// RFC value exactly.
+func TestCubicWEstTracksElapsedTime(t *testing.T) {
+	const rttSec = 0.1
+	epoch := func(newlyPerAck int) *Cubic {
+		c := New()
+		c.cwnd = 100
+		c.ssthresh = 50 // force congestion avoidance
+		c.OnLoss(0)     // wMax = 100, cwnd = 70
+		// First ack at t=0 starts the epoch; a second ack lands 1 s later.
+		c.OnAck(ev(0, newlyPerAck))
+		c.OnAck(ev(sim.Second, newlyPerAck))
+		return c
+	}
+	one := epoch(1)
+	many := epoch(7)
+	want := FriendlyWindow(100, 1, rttSec) // 75.294117647...
+	if one.WEst() != want {
+		t.Errorf("W_est after 1 s = %.12f, want RFC value %.12f", one.WEst(), want)
+	}
+	// Under the old ack-count form, seven-times as many acks inflated the
+	// estimate; elapsed time is the same, so W_est must be too.
+	if one.WEst() != many.WEst() {
+		t.Errorf("W_est depends on ack count: %v vs %v", one.WEst(), many.WEst())
+	}
+}
+
 func TestCubicDupAckNoChange(t *testing.T) {
 	c := New()
 	before := c.Window()

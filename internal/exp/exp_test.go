@@ -120,8 +120,8 @@ func TestLoadOrTrainRemyCCLoadsExistingAsset(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Errorf("registry has %d experiments, want 13 (every table and figure)", len(exps))
+	if len(exps) != 14 {
+		t.Errorf("registry has %d experiments, want 14 (every table and figure, plus beyond-dumbbell)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -133,7 +133,7 @@ func TestRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "table4"} {
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "table4", "beyond"} {
 		if _, err := Lookup(id); err != nil {
 			t.Errorf("Lookup(%s): %v", id, err)
 		}
@@ -150,6 +150,51 @@ func TestFigure3(t *testing.T) {
 	}
 	if rep.ID != "fig3" || len(rep.Lines) < 5 {
 		t.Errorf("report = %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestBeyondDumbbell(t *testing.T) {
+	rep, err := BeyondDumbbell(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "beyond" {
+		t.Errorf("report id %q", rep.ID)
+	}
+	// Three families x three schemes, each with a populated point cloud.
+	if len(rep.Schemes) != 9 {
+		t.Fatalf("got %d scheme results, want 9", len(rep.Schemes))
+	}
+	for _, s := range rep.Schemes {
+		if len(s.Points) == 0 {
+			t.Errorf("%s produced no observations", s.Protocol)
+		}
+		if s.MedianThroughput() <= 0 {
+			t.Errorf("%s median throughput = %v", s.Protocol, s.MedianThroughput())
+		}
+	}
+	// The cbr cross-traffic source must not appear as a contestant.
+	for _, s := range rep.Schemes {
+		if strings.Contains(s.Protocol, "cbr") {
+			t.Errorf("cbr leaked into scheme results: %s", s.Protocol)
+		}
+	}
+	// Parking-lot sanity: no single flow can exceed the widest bottleneck it
+	// could possibly traverse (10 Mbps); the strict per-bottleneck
+	// conservation property (sum of flows crossing each hop ≤ its rate) is
+	// asserted by harness.TestParkingLotConservation.
+	for _, s := range rep.Schemes {
+		if !strings.HasPrefix(s.Protocol, "parkinglot/") {
+			continue
+		}
+		for _, tput := range s.ThroughputsMbps {
+			if tput > 10.0*1.05 {
+				t.Errorf("%s: a flow reached %v Mbps, above the widest bottleneck", s.Protocol, tput)
+			}
+		}
 	}
 	if rep.String() == "" {
 		t.Error("String")

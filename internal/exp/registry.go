@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{ID: "table3", Title: "Datacenter: DCTCP vs RemyCC (§5.5)", Run: Table3},
 		{ID: "table4", Title: "Competing protocols (§5.6)", Run: Table4},
 		{ID: "fig11", Title: "Prior-knowledge sensitivity (§5.7)", Run: Figure11},
+		{ID: "beyond", Title: "Beyond the dumbbell: multi-bottleneck, cross-traffic and asymmetric paths (§7 open question)", Run: BeyondDumbbell},
 	}
 }
 

@@ -200,6 +200,52 @@ func DefaultScenarios() []ScenarioSet {
 				)
 			},
 		},
+		// The three beyond-dumbbell topology families (multi-hop routes,
+		// unresponsive cross traffic, congestible ACK path) pin the graph
+		// engine's hop-by-hop and reverse-route event machinery.
+		{
+			Name: "parkinglot",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "cubic"}, {scheme: "cubic/sfqcodel"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.ParkingLotSpec(familyConfig(c))
+			},
+		},
+		{
+			Name: "crosstraffic",
+			schemes: []schemeCase{
+				{scheme: "cubic"}, {scheme: "cubic/sfqcodel"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.CrossTrafficSpec(familyConfig(c))
+			},
+		},
+		{
+			Name: "asymreverse",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "cubic"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.AsymmetricReverseSpec(familyConfig(c))
+			},
+		},
+	}
+}
+
+// familyConfig adapts a scheme case to the beyond-dumbbell family builders
+// at the battery's budget.
+func familyConfig(c schemeCase) scenario.FamilyConfig {
+	return scenario.FamilyConfig{
+		Scheme:          c.scheme,
+		RemyCC:          c.remycc,
+		Workload:        quickWorkload(),
+		DurationSeconds: 3,
+		Seed:            goldenSeed,
+		Repetitions:     2,
 	}
 }
 

@@ -50,6 +50,22 @@ func BenchmarkRunQuickDumbbellNewReno(b *testing.B) {
 	}
 }
 
+// BenchmarkParkingLot measures a full multi-hop topology run: two bottleneck
+// links, a long flow crossing both and one cross flow per hop. allocs/op
+// tracks whether the multi-hop hot path (per-hop propagation events, routed
+// enqueues) stays as allocation-free as the dumbbell's.
+func BenchmarkParkingLot(b *testing.B) {
+	s := parkingLotScenario(20e6, 12e6, func() cc.Algorithm { return newreno.New() })
+	s.Duration = 3 * sim.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunQuickDumbbellCubic is the same end-to-end run with Cubic, a
 // heavier per-ACK code path.
 func BenchmarkRunQuickDumbbellCubic(b *testing.B) {

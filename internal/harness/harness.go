@@ -49,7 +49,8 @@ func (k QueueKind) String() string {
 // FlowSpec describes one sender-receiver pair in a scenario.
 type FlowSpec struct {
 	// RTTMs is the flow's two-way propagation delay in milliseconds
-	// (excluding transmission and queueing).
+	// (excluding transmission and queueing and the per-link delays of any
+	// multi-link route).
 	RTTMs float64
 	// Workload is the on/off offered-load process.
 	Workload workload.Spec
@@ -57,6 +58,35 @@ type FlowSpec struct {
 	// flow. It is invoked once per Run, so closures may capture per-run
 	// state (the optimizer attaches usage recorders this way).
 	NewAlgorithm func() cc.Algorithm
+	// Path and ReversePath route the flow across a multi-link topology
+	// (Scenario.Links) by link name. They are ignored — and must be empty —
+	// for single-bottleneck scenarios. An empty ReversePath gives the flow
+	// the paper's uncongested pure-delay ACK return path.
+	Path        []string
+	ReversePath []string
+}
+
+// LinkDef describes one directed link of a multi-link topology scenario.
+type LinkDef struct {
+	// Name identifies the link in flow routes.
+	Name string
+	// RateBps is the service rate; ignored when Trace is set.
+	RateBps float64
+	// Trace makes the link trace-driven.
+	Trace     []sim.Time
+	TraceLoop bool
+	// DelayMs is the link's one-way propagation delay in milliseconds.
+	DelayMs float64
+	// NewQueue builds the link's queue discipline for this run.
+	NewQueue func(engine *sim.Engine) (netsim.Queue, error)
+}
+
+// LinkResult reports one link's counters from one run.
+type LinkResult struct {
+	Name           string
+	Delivered      int64
+	DeliveredBytes int64
+	Drops          int64
 }
 
 // Scenario is a complete simulation configuration.
@@ -83,6 +113,16 @@ type Scenario struct {
 	// automatically.
 	NewQueue func(engine *sim.Engine) (netsim.Queue, error)
 
+	// Links, when non-empty, makes the scenario a multi-link topology: every
+	// flow routes over the named links via Path/ReversePath, and the
+	// single-bottleneck fields (LinkRateBps, Trace, Queue, NewQueue) are
+	// ignored. The first link is the "primary" one whose delivery counter
+	// feeds Result.Delivered, preserving the dumbbell's reporting shape.
+	Links []LinkDef
+	// AckBytes is the acknowledgment packet size on reverse-path links
+	// (netsim.AckBytes if zero).
+	AckBytes int
+
 	MTU      int
 	Duration sim.Time
 	Flows    []FlowSpec
@@ -100,8 +140,50 @@ func (s Scenario) Validate() error {
 	if s.Duration <= 0 {
 		return fmt.Errorf("harness: scenario duration must be positive")
 	}
-	if len(s.Trace) == 0 && s.LinkRateBps <= 0 {
-		return fmt.Errorf("harness: need a link rate or a trace")
+	if len(s.Links) > 0 {
+		names := make(map[string]bool, len(s.Links))
+		for i, l := range s.Links {
+			if l.Name == "" {
+				return fmt.Errorf("harness: link %d has no name", i)
+			}
+			if names[l.Name] {
+				return fmt.Errorf("harness: duplicate link %q", l.Name)
+			}
+			names[l.Name] = true
+			if len(l.Trace) == 0 && l.RateBps <= 0 {
+				return fmt.Errorf("harness: link %q needs a rate or a trace", l.Name)
+			}
+			if l.DelayMs < 0 {
+				return fmt.Errorf("harness: link %q has negative delay", l.Name)
+			}
+			if l.NewQueue == nil {
+				return fmt.Errorf("harness: link %q has no queue factory", l.Name)
+			}
+		}
+		for i, f := range s.Flows {
+			if len(f.Path) == 0 {
+				return fmt.Errorf("harness: flow %d has no path through the topology", i)
+			}
+			for _, name := range f.Path {
+				if !names[name] {
+					return fmt.Errorf("harness: flow %d path references unknown link %q", i, name)
+				}
+			}
+			for _, name := range f.ReversePath {
+				if !names[name] {
+					return fmt.Errorf("harness: flow %d reverse path references unknown link %q", i, name)
+				}
+			}
+		}
+	} else {
+		if len(s.Trace) == 0 && s.LinkRateBps <= 0 {
+			return fmt.Errorf("harness: need a link rate or a trace")
+		}
+		for i, f := range s.Flows {
+			if len(f.Path) > 0 || len(f.ReversePath) > 0 {
+				return fmt.Errorf("harness: flow %d routes over links but the scenario defines none", i)
+			}
+		}
 	}
 	if s.QueueCapacity < 0 {
 		return fmt.Errorf("harness: negative queue capacity")
@@ -135,8 +217,16 @@ type FlowResult struct {
 // Result is the outcome of one Run.
 type Result struct {
 	Flows []FlowResult
-	// Offered, Delivered and Dropped count packets at the bottleneck.
+	// Offered, Delivered and Dropped count data packets: offered at first-hop
+	// queues, delivered by the primary link, dropped on arrival at any queue.
 	Offered, Delivered, Dropped int64
+	// AcksDropped counts acknowledgments dropped on reverse-path links, at
+	// enqueue (tail drop) or dequeue (CoDel) time. Always zero for
+	// single-bottleneck scenarios, whose ACK path is uncongested.
+	AcksDropped int64
+	// Links reports per-link counters in definition order (for
+	// single-bottleneck scenarios: the one bottleneck link).
+	Links []LinkResult
 }
 
 // Run executes the scenario once with the given seed and returns per-flow
@@ -157,76 +247,29 @@ func Run(s Scenario, seed int64) (Result, error) {
 		mtu = netsim.MTU
 	}
 
-	// Build the bottleneck queue: through the caller-supplied factory when
-	// set, otherwise from the built-in queue kinds.
-	var queue netsim.Queue
-	if s.NewQueue != nil {
-		q, err := s.NewQueue(engine)
+	var network *netsim.Network
+	var queues []netsim.Queue
+	if len(s.Links) > 0 {
+		n, qs, err := buildTopologyNetwork(s, engine, mtu)
 		if err != nil {
 			return Result{}, err
 		}
-		if q == nil {
-			return Result{}, fmt.Errorf("harness: NewQueue returned a nil queue")
-		}
-		queue = q
+		network, queues = n, qs
 	} else {
-		switch s.Queue {
-		case QueueDropTail:
-			q, err := aqm.NewDropTail(capacity)
-			if err != nil {
-				return Result{}, err
-			}
-			queue = q
-		case QueueSfqCoDel:
-			q, err := aqm.NewSfqCoDel(1024, capacity)
-			if err != nil {
-				return Result{}, err
-			}
-			queue = q
-		case QueueECN:
-			threshold := s.ECNThresholdPackets
-			if threshold <= 0 {
-				threshold = 65
-			}
-			q, err := aqm.NewECNMarking(capacity, threshold)
-			if err != nil {
-				return Result{}, err
-			}
-			queue = q
-		case QueueXCP:
-			capBps := s.XCPCapacityBps
-			if capBps <= 0 {
-				capBps = s.LinkRateBps
-			}
-			if capBps <= 0 {
-				return Result{}, fmt.Errorf("harness: XCP queue needs a capacity estimate")
-			}
-			q, err := aqm.NewXCPQueue(engine, capacity, capBps)
-			if err != nil {
-				return Result{}, err
-			}
-			queue = q
-		default:
-			return Result{}, fmt.Errorf("harness: unknown queue kind %v", s.Queue)
+		n, qs, err := buildBottleneckNetwork(s, engine, capacity, mtu)
+		if err != nil {
+			return Result{}, err
 		}
-	}
-
-	network, err := netsim.NewNetwork(engine, netsim.Config{
-		LinkRateBps: s.LinkRateBps,
-		Trace:       s.Trace,
-		TraceLoop:   s.TraceLoop,
-		Queue:       queue,
-		MTU:         mtu,
-	})
-	if err != nil {
-		return Result{}, err
+		network, queues = n, qs
 	}
 	network.OnDeliver = s.OnDeliver
 	// Disciplines that drop at dequeue time (CoDel and friends) recycle those
 	// packets through the network's pool; enqueue-time drops are recycled by
 	// the port itself.
-	if hooked, ok := queue.(interface{ SetDropHook(func(*netsim.Packet)) }); ok {
-		hooked.SetDropHook(network.ReleasePacket)
+	for _, q := range queues {
+		if hooked, ok := q.(interface{ SetDropHook(func(*netsim.Packet)) }); ok {
+			hooked.SetDropHook(network.ReleaseDropped)
+		}
 	}
 
 	type flowState struct {
@@ -244,9 +287,18 @@ func Run(s Scenario, seed int64) (Result, error) {
 		flows[i] = fs
 
 		var transport *cc.Transport
-		port, err := network.AttachFlow(netsim.SenderFunc(func(a netsim.Ack, now sim.Time) {
+		sender := netsim.SenderFunc(func(a netsim.Ack, now sim.Time) {
 			transport.OnAck(a, now)
-		}), sim.FromMillis(spec.RTTMs/2))
+		})
+		oneWay := sim.FromMillis(spec.RTTMs / 2)
+		var port *netsim.Port
+		var err error
+		if len(spec.Path) > 0 {
+			port, err = network.AttachFlowRoute(sender,
+				resolveRoute(network, spec.Path), resolveRoute(network, spec.ReversePath), oneWay)
+		} else {
+			port, err = network.AttachFlow(sender, oneWay)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -285,8 +337,10 @@ func Run(s Scenario, seed int64) (Result, error) {
 	// Arm everything and run. Queues with an internal control loop (the XCP
 	// router) expose Start and are armed alongside the network.
 	network.Start(0)
-	if starter, ok := queue.(interface{ Start(now sim.Time) }); ok {
-		starter.Start(0)
+	for _, q := range queues {
+		if starter, ok := q.(interface{ Start(now sim.Time) }); ok {
+			starter.Start(0)
+		}
 	}
 	for _, fs := range flows {
 		fs.switcher.Start(0)
@@ -295,9 +349,18 @@ func Run(s Scenario, seed int64) (Result, error) {
 
 	// Collect metrics.
 	res := Result{
-		Offered:   network.PacketsOffered(),
-		Delivered: network.Link().Delivered(),
-		Dropped:   network.PacketsDropped(),
+		Offered:     network.PacketsOffered(),
+		Delivered:   network.Link().Delivered(),
+		Dropped:     network.PacketsDropped(),
+		AcksDropped: network.AcksDropped(),
+	}
+	for _, l := range network.Links() {
+		res.Links = append(res.Links, LinkResult{
+			Name:           l.Name(),
+			Delivered:      l.Delivered(),
+			DeliveredBytes: l.DeliveredBytes(),
+			Drops:          l.Queue().Drops(),
+		})
 	}
 	for i, fs := range flows {
 		onTime := fs.onTime
@@ -333,4 +396,115 @@ func Run(s Scenario, seed int64) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// resolveRoute maps link names (already validated) to the network's links.
+func resolveRoute(n *netsim.Network, names []string) []*netsim.Link {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]*netsim.Link, len(names))
+	for i, name := range names {
+		out[i] = n.LinkByName(name)
+	}
+	return out
+}
+
+// buildTopologyNetwork materializes the scenario's multi-link topology.
+func buildTopologyNetwork(s Scenario, engine *sim.Engine, mtu int) (*netsim.Network, []netsim.Queue, error) {
+	network, err := netsim.NewGraph(engine, netsim.GraphConfig{MTU: mtu, AckBytes: s.AckBytes})
+	if err != nil {
+		return nil, nil, err
+	}
+	queues := make([]netsim.Queue, 0, len(s.Links))
+	for _, def := range s.Links {
+		q, err := def.NewQueue(engine)
+		if err != nil {
+			return nil, nil, err
+		}
+		if q == nil {
+			return nil, nil, fmt.Errorf("harness: link %q queue factory returned a nil queue", def.Name)
+		}
+		if _, err := network.AddLink(netsim.LinkConfig{
+			Name:      def.Name,
+			RateBps:   def.RateBps,
+			Trace:     def.Trace,
+			TraceLoop: def.TraceLoop,
+			Delay:     sim.FromMillis(def.DelayMs),
+			Queue:     q,
+		}); err != nil {
+			return nil, nil, err
+		}
+		queues = append(queues, q)
+	}
+	return network, queues, nil
+}
+
+// buildBottleneckNetwork materializes the classic single-bottleneck network.
+func buildBottleneckNetwork(s Scenario, engine *sim.Engine, capacity, mtu int) (*netsim.Network, []netsim.Queue, error) {
+	// Build the bottleneck queue: through the caller-supplied factory when
+	// set, otherwise from the built-in queue kinds.
+	var queue netsim.Queue
+	if s.NewQueue != nil {
+		q, err := s.NewQueue(engine)
+		if err != nil {
+			return nil, nil, err
+		}
+		if q == nil {
+			return nil, nil, fmt.Errorf("harness: NewQueue returned a nil queue")
+		}
+		queue = q
+	} else {
+		switch s.Queue {
+		case QueueDropTail:
+			q, err := aqm.NewDropTail(capacity)
+			if err != nil {
+				return nil, nil, err
+			}
+			queue = q
+		case QueueSfqCoDel:
+			q, err := aqm.NewSfqCoDel(1024, capacity)
+			if err != nil {
+				return nil, nil, err
+			}
+			queue = q
+		case QueueECN:
+			threshold := s.ECNThresholdPackets
+			if threshold <= 0 {
+				threshold = 65
+			}
+			q, err := aqm.NewECNMarking(capacity, threshold)
+			if err != nil {
+				return nil, nil, err
+			}
+			queue = q
+		case QueueXCP:
+			capBps := s.XCPCapacityBps
+			if capBps <= 0 {
+				capBps = s.LinkRateBps
+			}
+			if capBps <= 0 {
+				return nil, nil, fmt.Errorf("harness: XCP queue needs a capacity estimate")
+			}
+			q, err := aqm.NewXCPQueue(engine, capacity, capBps)
+			if err != nil {
+				return nil, nil, err
+			}
+			queue = q
+		default:
+			return nil, nil, fmt.Errorf("harness: unknown queue kind %v", s.Queue)
+		}
+	}
+
+	network, err := netsim.NewNetwork(engine, netsim.Config{
+		LinkRateBps: s.LinkRateBps,
+		Trace:       s.Trace,
+		TraceLoop:   s.TraceLoop,
+		Queue:       queue,
+		MTU:         mtu,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return network, []netsim.Queue{queue}, nil
 }

@@ -6,7 +6,10 @@ import (
 	"repro/internal/sim"
 )
 
-// Config describes the single-bottleneck network of Figure 2.
+// Config describes the single-bottleneck network of Figure 2. It is the
+// degenerate form of the topology engine in network.go: NewNetwork compiles
+// it to a graph with one link (delay 0) and pure-delay reverse paths, which
+// schedules the identical event sequence the hard-wired dumbbell used to.
 type Config struct {
 	// LinkRateBps is the bottleneck rate in bits per second. Ignored when
 	// Trace is non-empty.
@@ -33,60 +36,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Network is an instantiated dumbbell: any number of flows share one
-// bottleneck queue and link; each flow has its own one-way propagation
-// delay, receiver, and ACK return path.
-type Network struct {
-	engine *sim.Engine
-	cfg    Config
-	link   *Link
-	queue  Queue
-	mtu    int
+// BottleneckLink is the name NewNetwork gives the single link it creates.
+const BottleneckLink = "bottleneck"
 
-	flows []*Port
-
-	// OnDeliver, if set, is invoked for every packet delivered to a
-	// receiver (used by the Figure 6 sequence-plot experiment). The packet is
-	// recycled once the callback returns; observers must copy what they need
-	// rather than retain the pointer.
-	OnDeliver func(p *Packet, now sim.Time)
-
-	// pool recycles packets and ack carriers through the send → queue → link
-	// → receiver → ack cycle, keeping the per-packet path allocation-free.
-	pool      packetPool
-	ackFree   []*ackCarrier
-	propApply func(now sim.Time, arg any)
-	ackApply  func(now sim.Time, arg any)
-
-	packetsOffered int64
-	packetsDropped int64
-}
-
-// ackCarrier ferries one acknowledgment through its return-path propagation
-// event without boxing the Ack value into an interface (which would allocate
-// per packet).
-type ackCarrier struct {
-	port *Port
-	ack  Ack
-}
-
-// Port is one flow's attachment point to the network. The sender transmits
-// by calling Send; the network delivers acknowledgments to the attached
-// Sender after the flow's return propagation delay.
-type Port struct {
-	net      *Network
-	flow     int
-	sender   Sender
-	receiver *Receiver
-	// oneWay is the propagation delay in each direction, so the flow's
-	// minimum RTT is 2*oneWay plus the bottleneck transmission time.
-	oneWay sim.Time
-
-	packetsSent int64
-	bytesSent   int64
-}
-
-// NewNetwork builds an empty dumbbell network on the engine.
+// NewNetwork builds an empty dumbbell network on the engine: any number of
+// flows (attached with AttachFlow) share one bottleneck queue and link, each
+// with its own one-way propagation delay, receiver and uncongested ACK
+// return path.
 func NewNetwork(engine *sim.Engine, cfg Config) (*Network, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("netsim: nil engine")
@@ -94,186 +50,18 @@ func NewNetwork(engine *sim.Engine, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	mtu := cfg.MTU
-	if mtu <= 0 {
-		mtu = MTU
-	}
-	n := &Network{engine: engine, cfg: cfg, queue: cfg.Queue, mtu: mtu}
-	n.propApply = n.onPropagated
-	n.ackApply = n.onAckReturned
-	deliver := func(p *Packet, now sim.Time) { n.deliverToReceiver(p, now) }
-	var link *Link
-	var err error
-	if len(cfg.Trace) > 0 {
-		link, err = NewTraceLink(engine, cfg.Queue, cfg.Trace, cfg.TraceLoop, deliver)
-	} else {
-		link, err = NewFixedRateLink(engine, cfg.Queue, cfg.LinkRateBps, deliver)
-	}
+	n, err := NewGraph(engine, GraphConfig{MTU: cfg.MTU})
 	if err != nil {
 		return nil, err
 	}
-	n.link = link
+	if _, err := n.AddLink(LinkConfig{
+		Name:      BottleneckLink,
+		RateBps:   cfg.LinkRateBps,
+		Trace:     cfg.Trace,
+		TraceLoop: cfg.TraceLoop,
+		Queue:     cfg.Queue,
+	}); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
-
-// Start arms the bottleneck link (needed for trace-driven links).
-func (n *Network) Start(now sim.Time) { n.link.Start(now) }
-
-// Engine returns the simulation engine the network runs on.
-func (n *Network) Engine() *sim.Engine { return n.engine }
-
-// Link exposes the bottleneck link for statistics.
-func (n *Network) Link() *Link { return n.link }
-
-// Queue exposes the bottleneck queue for statistics.
-func (n *Network) Queue() Queue { return n.queue }
-
-// MTU returns the segment size in bytes.
-func (n *Network) MTU() int { return n.mtu }
-
-// PacketsOffered returns the number of packets senders have offered to the
-// bottleneck queue.
-func (n *Network) PacketsOffered() int64 { return n.packetsOffered }
-
-// PacketsDropped returns the number of packets dropped at the bottleneck on
-// arrival.
-func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
-
-// AttachFlow adds a flow with the given sender and one-way propagation
-// delay, returning its Port. Flows are numbered in attachment order.
-func (n *Network) AttachFlow(sender Sender, oneWay sim.Time) (*Port, error) {
-	if sender == nil {
-		return nil, fmt.Errorf("netsim: AttachFlow with nil sender")
-	}
-	if oneWay < 0 {
-		return nil, fmt.Errorf("netsim: negative propagation delay")
-	}
-	flow := len(n.flows)
-	p := &Port{net: n, flow: flow, sender: sender, receiver: NewReceiver(flow), oneWay: oneWay}
-	n.flows = append(n.flows, p)
-	return p, nil
-}
-
-// Flows returns the number of attached flows.
-func (n *Network) Flows() int { return len(n.flows) }
-
-// PortFor returns the port of flow i (nil if out of range); tests and the
-// experiment harness use it to read per-flow counters.
-func (n *Network) PortFor(i int) *Port {
-	if i < 0 || i >= len(n.flows) {
-		return nil
-	}
-	return n.flows[i]
-}
-
-// MinRTT returns a flow's minimum achievable round-trip time: two
-// propagation delays plus one bottleneck transmission time (zero
-// transmission time for trace-driven links, whose delivery schedule already
-// embodies service time).
-func (n *Network) MinRTT(flow int) sim.Time {
-	p := n.PortFor(flow)
-	if p == nil {
-		return 0
-	}
-	var xmit sim.Time
-	if n.link.rateBps > 0 {
-		xmit = sim.FromSeconds(float64(n.mtu) * 8 / n.link.rateBps)
-	}
-	return 2*p.oneWay + xmit
-}
-
-func (n *Network) deliverToReceiver(p *Packet, now sim.Time) {
-	port := n.PortFor(p.Flow)
-	if port == nil {
-		n.pool.put(p)
-		return
-	}
-	// Forward propagation from the bottleneck to the receiver.
-	n.engine.ScheduleArg(now+port.oneWay, n.propApply, p)
-}
-
-// onPropagated runs when a data packet reaches its receiver: acknowledge it,
-// notify observers, recycle the packet, and send the acknowledgment back.
-func (n *Network) onPropagated(t sim.Time, arg any) {
-	p := arg.(*Packet)
-	port := n.flows[p.Flow]
-	ack := port.receiver.Receive(p, t)
-	if n.OnDeliver != nil {
-		n.OnDeliver(p, t)
-	}
-	n.pool.put(p)
-	// Return propagation of the acknowledgment (reverse path is uncongested,
-	// as in the paper's setup).
-	ac := n.getAckCarrier()
-	ac.port, ac.ack = port, ack
-	n.engine.ScheduleArg(t+port.oneWay, n.ackApply, ac)
-}
-
-// onAckReturned delivers an acknowledgment to its sender after the reverse
-// propagation delay.
-func (n *Network) onAckReturned(t sim.Time, arg any) {
-	ac := arg.(*ackCarrier)
-	port, ack := ac.port, ac.ack
-	ac.port = nil
-	ac.ack = Ack{}
-	n.ackFree = append(n.ackFree, ac)
-	port.sender.OnAck(ack, t)
-}
-
-func (n *Network) getAckCarrier() *ackCarrier {
-	if m := len(n.ackFree); m > 0 {
-		ac := n.ackFree[m-1]
-		n.ackFree[m-1] = nil
-		n.ackFree = n.ackFree[:m-1]
-		return ac
-	}
-	return &ackCarrier{}
-}
-
-// ReleasePacket returns a packet to the network's pool. Queue disciplines
-// that drop packets internally (CoDel's dequeue-time drops) are wired to it
-// by the harness; everything else on the packet's path releases through the
-// network itself.
-func (n *Network) ReleasePacket(p *Packet) { n.pool.put(p) }
-
-// NewPacket returns a blank packet for this flow's sender to fill in and
-// Send. Senders must obtain packets here rather than allocating them, so the
-// network can recycle delivered packets.
-func (p *Port) NewPacket() *Packet { return p.net.pool.get() }
-
-// Send transmits a packet from this flow's sender into the bottleneck
-// queue. The packet's Flow field is overwritten with the port's flow id.
-// It returns false if the bottleneck dropped the packet on arrival.
-func (p *Port) Send(pkt *Packet, now sim.Time) bool {
-	if pkt.Size <= 0 {
-		pkt.Size = p.net.mtu
-	}
-	pkt.Flow = p.flow
-	pkt.EnqueuedAt = now
-	p.packetsSent++
-	p.bytesSent += int64(pkt.Size)
-	p.net.packetsOffered++
-	ok := p.net.queue.Enqueue(pkt, now)
-	if !ok {
-		p.net.packetsDropped++
-		p.net.pool.put(pkt)
-		return false
-	}
-	p.net.link.Offer(now)
-	return true
-}
-
-// Flow returns the port's flow id.
-func (p *Port) Flow() int { return p.flow }
-
-// OneWayDelay returns the flow's one-way propagation delay.
-func (p *Port) OneWayDelay() sim.Time { return p.oneWay }
-
-// Receiver returns the flow's receiver (for statistics and resets).
-func (p *Port) Receiver() *Receiver { return p.receiver }
-
-// PacketsSent returns the number of packets this flow has offered.
-func (p *Port) PacketsSent() int64 { return p.packetsSent }
-
-// BytesSent returns the number of bytes this flow has offered.
-func (p *Port) BytesSent() int64 { return p.bytesSent }

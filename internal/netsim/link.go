@@ -21,6 +21,12 @@ type Link struct {
 	engine *sim.Engine
 	queue  Queue
 
+	// name identifies the link within a Network's topology; delay is its
+	// one-way propagation delay, applied by the network after service. Both
+	// are set by Network.AddLink (zero for directly constructed links).
+	name  string
+	delay sim.Time
+
 	// fixed-rate service
 	rateBps float64
 	busy    bool
@@ -102,6 +108,16 @@ func (l *Link) serviceTime(p *Packet) sim.Time {
 // RateBps returns the configured rate for fixed-rate links (0 for
 // trace-driven links).
 func (l *Link) RateBps() float64 { return l.rateBps }
+
+// Name returns the link's name within its network topology ("" for links
+// constructed outside a Network).
+func (l *Link) Name() string { return l.name }
+
+// Delay returns the link's one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// Queue returns the queue discipline the link serves.
+func (l *Link) Queue() Queue { return l.queue }
 
 // Delivered returns the number of packets the link has delivered.
 func (l *Link) Delivered() int64 { return l.delivered }

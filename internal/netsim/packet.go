@@ -65,7 +65,19 @@ type Packet struct {
 	// xcpScratch keeps a recycled packet's XCP header co-allocated across
 	// reuses, so XCP flows do not allocate a fresh header per transmission.
 	xcpScratch *XCPHeader
+
+	// Route state, maintained by the Network: hop indexes the packet's
+	// position in its flow's route; isAck marks acknowledgment packets
+	// traversing a reverse route, carrying their Ack in ack.
+	hop   int
+	isAck bool
+	ack   Ack
 }
+
+// IsAck reports whether this packet is an acknowledgment traversing a
+// reverse-path link (queue disciplines and observers may want to treat acks
+// differently from data).
+func (p *Packet) IsAck() bool { return p.isAck }
 
 // EnsureXCP returns the packet's XCP header, attaching a (possibly recycled)
 // one if the packet has none. Stampers must use it instead of allocating a

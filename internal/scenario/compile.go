@@ -42,6 +42,16 @@ func deriveTraceSeed(runSeed int64) int64 {
 	return int64(splitmix64(uint64(runSeed) ^ traceSalt))
 }
 
+// deriveLinkTraceSeed returns the trace seed for the i-th link of a topology
+// spec, decorrelating the links' traces from one another. Link 0 reuses the
+// single-link derivation so a one-link topology reproduces the classic form.
+func deriveLinkTraceSeed(runSeed int64, link int) int64 {
+	if link == 0 {
+		return deriveTraceSeed(runSeed)
+	}
+	return int64(splitmix64(uint64(deriveTraceSeed(runSeed)) + uint64(link)))
+}
+
 // QueueKindFor resolves the effective queue kind of the spec: the explicit
 // Queue.Kind if set, otherwise the kind implied by the flows' protocols. It
 // is an error for two flows to imply different router-assisted kinds.
@@ -90,41 +100,29 @@ func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
 		MTU:      s.MTU,
 	}
 
-	// Link: explicit trace > trace model > fixed rate.
-	packetBytes := s.MTU
-	if packetBytes <= 0 {
-		packetBytes = netsim.MTU
-	}
-	switch {
-	case len(s.Link.Trace) > 0:
-		out.Trace = s.Link.Trace
-		out.TraceLoop = s.Link.TraceLoop
-	case s.Link.Model != "" && s.Link.Model != "fixed":
-		model, err := reg.LinkModel(s.Link.Model)
-		if err != nil {
+	if s.Topology != nil {
+		if err := s.compileTopologyLinks(reg, runSeed, &out); err != nil {
 			return harness.Scenario{}, 0, err
 		}
-		trace, err := model.Generate(s.Duration(), sim.NewRNG(deriveTraceSeed(runSeed)))
-		if err != nil {
-			return harness.Scenario{}, 0, fmt.Errorf("scenario: spec %q link model %q: %w", s.Name, s.Link.Model, err)
+		if err := s.compileFlows(reg, &out); err != nil {
+			return harness.Scenario{}, 0, err
 		}
-		out.Trace = trace
-		out.TraceLoop = s.Link.TraceLoop
-		if model.PacketBytes > 0 {
-			packetBytes = model.PacketBytes
-		}
-	default:
-		out.LinkRateBps = s.Link.RateBps
+		out.OnDeliver = s.OnDeliver
+		return out, runSeed, nil
 	}
 
-	// Capacity estimate for rate-aware queues (XCP): explicit override, then
-	// the fixed rate, then the trace's long-term average.
-	capacityBps := s.Link.XCPCapacityBps
-	if capacityBps <= 0 {
-		capacityBps = out.LinkRateBps
+	trace, capacityBps, err := s.resolveLinkService(reg,
+		fmt.Sprintf("spec %q link", s.Name),
+		s.Link.Trace, s.Link.Model, s.Link.RateBps, s.Link.XCPCapacityBps,
+		deriveTraceSeed(runSeed))
+	if err != nil {
+		return harness.Scenario{}, 0, err
 	}
-	if capacityBps <= 0 && len(out.Trace) > 0 {
-		capacityBps = traces.AverageRateBps(out.Trace, packetBytes, s.Duration())
+	if len(trace) > 0 {
+		out.Trace = trace
+		out.TraceLoop = s.Link.TraceLoop
+	} else {
+		out.LinkRateBps = s.Link.RateBps
 	}
 	out.XCPCapacityBps = capacityBps
 
@@ -143,21 +141,35 @@ func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
 		return factory(queueSpec, QueueEnv{Engine: engine, CapacityBps: capacityBps})
 	}
 
-	// Flows: expand counts and resolve schemes.
+	if err := s.compileFlows(reg, &out); err != nil {
+		return harness.Scenario{}, 0, err
+	}
+	out.OnDeliver = s.OnDeliver
+	return out, runSeed, nil
+}
+
+// compileFlows expands flow counts and resolves schemes into the executable
+// scenario, carrying topology routes through.
+func (s Spec) compileFlows(reg *Registry, out *harness.Scenario) error {
+	mtu := s.MTU
+	if mtu <= 0 {
+		mtu = netsim.MTU
+	}
 	for i, f := range s.Flows {
+		f.specMTU = mtu
 		alg := f.Algorithm
 		name := f.Scheme
 		if alg == nil {
 			p, err := reg.Protocol(f)
 			if err != nil {
-				return harness.Scenario{}, 0, fmt.Errorf("scenario: spec %q flow %d: %w", s.Name, i, err)
+				return fmt.Errorf("scenario: spec %q flow %d: %w", s.Name, i, err)
 			}
 			alg = p.New
 			name = p.Name
 		}
 		w, err := f.Workload.Compile()
 		if err != nil {
-			return harness.Scenario{}, 0, fmt.Errorf("scenario: spec %q flow %d (%s): %w", s.Name, i, name, err)
+			return fmt.Errorf("scenario: spec %q flow %d (%s): %w", s.Name, i, name, err)
 		}
 		count := f.Count
 		if count < 1 {
@@ -168,10 +180,102 @@ func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
 				RTTMs:        f.RTTMs,
 				Workload:     w,
 				NewAlgorithm: alg,
+				Path:         f.Path,
+				ReversePath:  f.ReversePath,
 			})
 		}
 	}
+	return nil
+}
 
-	out.OnDeliver = s.OnDeliver
-	return out, runSeed, nil
+// resolveLinkService resolves one link's service description — explicit
+// trace > trace model > fixed rate — and the capacity estimate for
+// rate-aware queues (explicit override, then the fixed rate, then the
+// trace's long-term average). Shared by the single-bottleneck and topology
+// compile paths so service semantics cannot drift apart.
+func (s Spec) resolveLinkService(reg *Registry, label string, explicitTrace []sim.Time, model string, rateBps, xcpOverride float64, traceSeed int64) (trace []sim.Time, capacityBps float64, err error) {
+	packetBytes := s.MTU
+	if packetBytes <= 0 {
+		packetBytes = netsim.MTU
+	}
+	switch {
+	case len(explicitTrace) > 0:
+		trace = explicitTrace
+	case model != "" && model != "fixed":
+		m, err := reg.LinkModel(model)
+		if err != nil {
+			return nil, 0, err
+		}
+		tr, err := m.Generate(s.Duration(), sim.NewRNG(traceSeed))
+		if err != nil {
+			return nil, 0, fmt.Errorf("scenario: %s model %q: %w", label, model, err)
+		}
+		trace = tr
+		if m.PacketBytes > 0 {
+			packetBytes = m.PacketBytes
+		}
+	}
+	capacityBps = xcpOverride
+	if capacityBps <= 0 && len(trace) == 0 {
+		capacityBps = rateBps
+	}
+	if capacityBps <= 0 && len(trace) > 0 {
+		capacityBps = traces.AverageRateBps(trace, packetBytes, s.Duration())
+	}
+	return trace, capacityBps, nil
+}
+
+// compileTopologyLinks materializes a Topology spec's links: per-link trace
+// synthesis (decorrelated across links), queue-kind resolution (the link's
+// own queue, else the spec-level one, with the kind the flows imply as the
+// final fallback) and per-link capacity estimates for rate-aware queues.
+func (s Spec) compileTopologyLinks(reg *Registry, runSeed int64, out *harness.Scenario) error {
+	t := s.Topology
+	out.AckBytes = t.AckBytes
+	defaultKind := ""
+	for li, l := range t.Links {
+		trace, capacityBps, err := s.resolveLinkService(reg,
+			fmt.Sprintf("spec %q link %q", s.Name, l.Name),
+			nil, l.Model, l.RateBps, l.XCPCapacityBps,
+			deriveLinkTraceSeed(runSeed, li))
+		if err != nil {
+			return err
+		}
+		// A link that declares no queue at all inherits the spec-level Queue
+		// wholesale (kind and parameters); a kindless queue falls back to the
+		// kind the spec's flows imply, like the single-bottleneck form.
+		queueSpec := l.Queue
+		if queueSpec == (QueueSpec{}) {
+			queueSpec = s.Queue
+		}
+		kind := queueSpec.Kind
+		if kind == "" {
+			if defaultKind == "" {
+				k, err := s.QueueKindFor(reg)
+				if err != nil {
+					return err
+				}
+				defaultKind = k
+			}
+			kind = defaultKind
+		}
+		factory, err := reg.Queue(kind)
+		if err != nil {
+			return err
+		}
+		env := QueueEnv{CapacityBps: capacityBps}
+		out.Links = append(out.Links, harness.LinkDef{
+			Name:      l.Name,
+			RateBps:   l.RateBps,
+			Trace:     trace,
+			TraceLoop: l.TraceLoop,
+			DelayMs:   l.DelayMs,
+			NewQueue: func(engine *sim.Engine) (netsim.Queue, error) {
+				e := env
+				e.Engine = engine
+				return factory(queueSpec, e)
+			},
+		})
+	}
+	return nil
 }

@@ -1,0 +1,132 @@
+package scenario
+
+// Canonical beyond-dumbbell scenario families. The paper evaluates almost
+// exclusively on the single-bottleneck dumbbell of Figure 2 and leaves "more
+// complicated network paths" open (§7); these three families are the
+// repository's canonical instances of that open question, shared by the
+// golden battery, the beyond-dumbbell experiment report and the example spec
+// files so every layer exercises the same topologies.
+
+// FamilyConfig parameterizes one beyond-dumbbell family with the scheme
+// under test and the run budget.
+type FamilyConfig struct {
+	// Scheme is the registered protocol every responsive flow runs.
+	Scheme string
+	// RemyCC is the rule-table path for the "remy" scheme.
+	RemyCC string
+	// Workload is the responsive flows' on/off process.
+	Workload WorkloadSpec
+	// DurationSeconds, Seed and Repetitions set the run budget.
+	DurationSeconds float64
+	Seed            int64
+	Repetitions     int
+}
+
+func (c FamilyConfig) flow(count int, rttMs float64, path, reverse []string) FlowSpec {
+	return FlowSpec{
+		Scheme:      c.Scheme,
+		RemyCC:      c.RemyCC,
+		Count:       count,
+		RTTMs:       rttMs,
+		Workload:    c.Workload,
+		Path:        path,
+		ReversePath: reverse,
+	}
+}
+
+// ParkingLotSpec is the two-bottleneck parking lot: a long flow crosses both
+// hops of a three-node chain while one cross flow loads each hop, so the
+// long flow pays queueing (and possibly drops) twice per round trip.
+func ParkingLotSpec(c FamilyConfig) Spec {
+	return New(
+		WithName("parkinglot-"+c.Scheme),
+		WithDescription("Parking lot: src→mid→dst chain with a 10 Mbps and a 6 Mbps bottleneck; one long flow crosses both hops, one cross flow per hop."),
+		WithTopology(TopologySpec{
+			Nodes: []NodeSpec{{Name: "src"}, {Name: "mid"}, {Name: "dst"}},
+			Links: []TopoLinkSpec{
+				{Name: "hop1", From: "src", To: "mid", RateBps: 10e6, DelayMs: 10},
+				{Name: "hop2", From: "mid", To: "dst", RateBps: 6e6, DelayMs: 10},
+			},
+		}),
+		WithDuration(c.DurationSeconds),
+		WithSeed(c.Seed),
+		WithRepetitions(c.Repetitions),
+		WithFlow(c.flow(1, 40, []string{"hop1", "hop2"}, nil)),
+		WithFlow(c.flow(1, 40, []string{"hop1"}, nil)),
+		WithFlow(c.flow(1, 40, []string{"hop2"}, nil)),
+	)
+}
+
+// CrossTrafficSpec is the dumbbell with unresponsive cross traffic: two
+// responsive flows share one 15 Mbps bottleneck with an on/off
+// constant-bit-rate source (5 Mbps while on) that ignores congestion — load
+// the responsive scheme can neither displace nor negotiate with.
+func CrossTrafficSpec(c FamilyConfig) Spec {
+	cross := FlowSpec{
+		Scheme:  "cbr",
+		RateBps: 5e6,
+		RTTMs:   80,
+		Workload: WorkloadSpec{
+			Mode:    ModeByTime,
+			On:      ExponentialDist(1.0),
+			Off:     ExponentialDist(1.0),
+			StartOn: true,
+		},
+		Path: []string{"bottleneck"},
+	}
+	return New(
+		WithName("crosstraffic-"+c.Scheme),
+		WithDescription("Cross-traffic dumbbell: two responsive flows share a 15 Mbps bottleneck with an unresponsive on/off 5 Mbps CBR source."),
+		WithTopology(TopologySpec{
+			Nodes: []NodeSpec{{Name: "src"}, {Name: "dst"}},
+			Links: []TopoLinkSpec{
+				{Name: "bottleneck", From: "src", To: "dst", RateBps: 15e6, DelayMs: 25},
+			},
+		}),
+		WithDuration(c.DurationSeconds),
+		WithSeed(c.Seed),
+		WithRepetitions(c.Repetitions),
+		WithFlow(c.flow(2, 100, []string{"bottleneck"}, nil)),
+		WithFlow(cross),
+	)
+}
+
+// AsymmetricReverseSpec is the asymmetric-path dumbbell: data crosses a
+// 15 Mbps forward bottleneck, but acknowledgments return over a 300 kbps
+// link with its own (small) queue, so the ACK clock itself is congestible —
+// roughly 937 acks/s against the forward path's ~1250 packets/s.
+func AsymmetricReverseSpec(c FamilyConfig) Spec {
+	return New(
+		WithName("asymreverse-"+c.Scheme),
+		WithDescription("Asymmetric reverse path: 15 Mbps forward bottleneck, 300 kbps ACK channel with a 100-packet queue (40-byte acks)."),
+		WithTopology(TopologySpec{
+			Nodes: []NodeSpec{{Name: "src"}, {Name: "dst"}},
+			Links: []TopoLinkSpec{
+				{Name: "fwd", From: "src", To: "dst", RateBps: 15e6, DelayMs: 25},
+				{Name: "rev", From: "dst", To: "src", RateBps: 0.3e6, DelayMs: 25,
+					Queue: QueueSpec{Kind: QueueDropTail, CapacityPackets: 100}},
+			},
+			AckBytes: 40,
+		}),
+		WithDuration(c.DurationSeconds),
+		WithSeed(c.Seed),
+		WithRepetitions(c.Repetitions),
+		WithFlow(c.flow(2, 100, []string{"fwd"}, []string{"rev"})),
+	)
+}
+
+// BeyondDumbbellFamilies returns the three canonical beyond-dumbbell spec
+// builders keyed by family name, in presentation order.
+func BeyondDumbbellFamilies() []struct {
+	Name  string
+	Build func(FamilyConfig) Spec
+} {
+	return []struct {
+		Name  string
+		Build func(FamilyConfig) Spec
+	}{
+		{Name: "parkinglot", Build: ParkingLotSpec},
+		{Name: "crosstraffic", Build: CrossTrafficSpec},
+		{Name: "asymreverse", Build: AsymmetricReverseSpec},
+	}
+}

@@ -32,6 +32,20 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		`"duration_seconds":1}`))
 	f.Add([]byte(`{"flows":[]}`))
 	f.Add([]byte(`not json`))
+	// Topology corpus: a minimal two-hop parking lot with routed flows, and a
+	// reverse-path spec, so the fuzzer mutates node/link/route structure too.
+	f.Add([]byte(`{"topology":{"nodes":[{"name":"a"},{"name":"b"},{"name":"c"}],` +
+		`"links":[{"name":"l1","from":"a","to":"b","rate_bps":1e7,"delay_ms":10},` +
+		`{"name":"l2","from":"b","to":"c","rate_bps":6e6,"delay_ms":10,"queue":{"kind":"sfqcodel"}}]},` +
+		`"flows":[{"scheme":"newreno","rtt_ms":40,"path":["l1","l2"],` +
+		`"workload":{"mode":"time","on":{"type":"constant","value":1},"off":{"type":"constant","value":1}}}],` +
+		`"duration_seconds":1}`))
+	f.Add([]byte(`{"topology":{"nodes":[{"name":"a"},{"name":"b"}],"ack_bytes":40,` +
+		`"links":[{"name":"fwd","from":"a","to":"b","rate_bps":1.5e7},` +
+		`{"name":"rev","from":"b","to":"a","rate_bps":3e5,"queue":{"capacity_packets":100}}]},` +
+		`"flows":[{"scheme":"cbr","rate_bps":1e6,"rtt_ms":100,"path":["fwd"],"reverse_path":["rev"],` +
+		`"workload":{"mode":"bytes","on":{"type":"exponential","mean":1e5},"off":{"type":"exponential","mean":0.5}}}],` +
+		`"duration_seconds":1}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Unmarshal(data)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aqm"
 	"repro/internal/cc"
+	"repro/internal/cc/cbr"
 	"repro/internal/cc/compound"
 	"repro/internal/cc/cubic"
 	"repro/internal/cc/dctcp"
@@ -322,6 +323,22 @@ func mustRegisterBuiltins(r *Registry) {
 			tree = actual.(*core.WhiskerTree)
 		}
 		return Protocol{Name: "remy", New: func() cc.Algorithm { return core.NewSender(tree) }}, nil
+	}))
+
+	// "cbr" is the unresponsive constant-rate cross-traffic source of the
+	// beyond-dumbbell scenarios; its rate comes from the flow's rate_bps.
+	must(r.RegisterProtocolFactory("cbr", func(flow FlowSpec) (Protocol, error) {
+		if flow.RateBps <= 0 {
+			return Protocol{}, fmt.Errorf("scenario: scheme %q needs a positive flow rate_bps", "cbr")
+		}
+		rate := flow.RateBps
+		// The pacing gap must match the size of the packets the transport
+		// actually sends, or the offered rate is off by mtu/1500.
+		packetBytes := flow.specMTU
+		if packetBytes <= 0 {
+			packetBytes = netsim.MTU
+		}
+		return Protocol{Name: "cbr", New: func() cc.Algorithm { return cbr.New(rate, packetBytes) }}, nil
 	}))
 
 	must(r.RegisterQueue(QueueDropTail, func(q QueueSpec, env QueueEnv) (netsim.Queue, error) {

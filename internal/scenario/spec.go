@@ -70,21 +70,45 @@ type FlowSpec struct {
 	RTTMs float64 `json:"rtt_ms"`
 	// Workload is the on/off offered-load process.
 	Workload WorkloadSpec `json:"workload"`
+	// RateBps is the send rate for the unresponsive "cbr" scheme (ignored by
+	// every other scheme).
+	RateBps float64 `json:"rate_bps,omitempty"`
+	// Path routes the flow across a Topology spec by link name (forward
+	// direction). Required when the spec declares a Topology; must be empty
+	// otherwise.
+	Path []string `json:"path,omitempty"`
+	// ReversePath routes the flow's acknowledgments. Empty means the paper's
+	// uncongested pure-delay return path.
+	ReversePath []string `json:"reverse_path,omitempty"`
 
 	// Algorithm, when set, overrides the registry lookup with a programmatic
 	// constructor (the optimizer injects usage-recording senders this way).
 	// It is not part of the JSON form.
 	Algorithm func() cc.Algorithm `json:"-"`
+
+	// specMTU carries the spec's effective packet size into protocol
+	// factories at compile time (the cbr factory sizes its pacing gap with
+	// it). Set by Compile; not part of the JSON form.
+	specMTU int
 }
 
 // Spec is a complete declarative simulation scenario.
 type Spec struct {
 	// Name labels the spec in results and logs.
 	Name string `json:"name,omitempty"`
-	// Link is the bottleneck link description.
+	// Description documents the scenario for human readers of spec files; it
+	// has no effect on execution.
+	Description string `json:"description,omitempty"`
+	// Link is the bottleneck link description (single-bottleneck form).
+	// Ignored when Topology is set.
 	Link LinkSpec `json:"link"`
-	// Queue is the bottleneck queue discipline.
+	// Queue is the bottleneck queue discipline. For a Topology spec it is the
+	// default for links that do not declare their own queue.
 	Queue QueueSpec `json:"queue,omitempty"`
+	// Topology, when set, replaces the single bottleneck with a directed
+	// graph of nodes and links; every flow then routes over it via Path (and
+	// optionally ReversePath).
+	Topology *TopologySpec `json:"topology,omitempty"`
 	// Flows lists the senders.
 	Flows []FlowSpec `json:"flows"`
 	// DurationSeconds is the simulated length of each repetition.
@@ -152,9 +176,23 @@ func (s Spec) Validate() error {
 	if s.OnDeliver != nil && s.Reps() > 1 {
 		return fmt.Errorf("scenario: spec %q sets OnDeliver with %d repetitions; the hook would race across workers (use one repetition per spec)", s.Name, s.Reps())
 	}
-	fixed := s.Link.Model == "" || s.Link.Model == "fixed"
-	if fixed && len(s.Link.Trace) == 0 && s.Link.RateBps <= 0 {
-		return fmt.Errorf("scenario: spec %q needs a link rate, trace or link model", s.Name)
+	if s.Topology != nil {
+		if err := s.Topology.Validate(s.Name); err != nil {
+			return err
+		}
+		if err := s.Topology.validateFlowRoutes(s.Name, s.Flows); err != nil {
+			return err
+		}
+	} else {
+		fixed := s.Link.Model == "" || s.Link.Model == "fixed"
+		if fixed && len(s.Link.Trace) == 0 && s.Link.RateBps <= 0 {
+			return fmt.Errorf("scenario: spec %q needs a link rate, trace or link model", s.Name)
+		}
+		for i, f := range s.Flows {
+			if len(f.Path) > 0 || len(f.ReversePath) > 0 {
+				return fmt.Errorf("scenario: spec %q flow %d routes over links but the spec has no topology", s.Name, i)
+			}
+		}
 	}
 	for i, f := range s.Flows {
 		if f.Scheme == "" && f.Algorithm == nil {
@@ -287,6 +325,17 @@ func WithFlows(n int, scheme string, rttMs float64, w WorkloadSpec) Option {
 // (programmatic use only; for batch consumers that read raw flow metrics).
 func WithoutSummaries() Option {
 	return func(s *Spec) { s.SkipSummaries = true }
+}
+
+// WithDescription documents the spec for human readers of spec files.
+func WithDescription(text string) Option {
+	return func(s *Spec) { s.Description = text }
+}
+
+// WithTopology replaces the single bottleneck with a directed-graph topology;
+// flows added afterwards must route over it via their Path field.
+func WithTopology(t TopologySpec) Option {
+	return func(s *Spec) { s.Topology = &t }
 }
 
 // WithOnDeliver installs a delivery observer (programmatic use only).

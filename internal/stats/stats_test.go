@@ -107,8 +107,20 @@ func TestMeanVarianceStdDev(t *testing.T) {
 	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
 		t.Error("degenerate inputs")
 	}
-	if se := StandardError(xs); math.Abs(se-2/math.Sqrt(8)) > 1e-12 {
-		t.Errorf("StandardError = %v", se)
+	// Sample (n−1) statistics: squared deviations sum to 32 over n=8, so the
+	// sample variance is 32/7 and the standard error of the mean is
+	// sqrt(32/7)/sqrt(8) = sqrt(4/7).
+	if got := SampleVariance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7)
+	}
+	if got := SampleStdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("SampleStdDev = %v", got)
+	}
+	if se := StandardError(xs); math.Abs(se-math.Sqrt(4.0/7)) > 1e-12 {
+		t.Errorf("StandardError = %v, want sqrt(4/7) (sample form)", se)
+	}
+	if SampleVariance(nil) != 0 || SampleVariance([]float64{3}) != 0 {
+		t.Error("degenerate sample variance")
 	}
 	if StandardError(nil) != 0 {
 		t.Error("StandardError(nil)")
@@ -191,6 +203,29 @@ func TestSummarize(t *testing.T) {
 	empty := Summarize(nil)
 	if empty.N != 0 {
 		t.Error("Summarize(nil)")
+	}
+}
+
+// TestSummarizeMatchesIndividualStats: the single-sort Summarize must agree
+// exactly with the standalone order-statistic functions, on unsorted input
+// with duplicates, and must not mutate its input.
+func TestSummarizeMatchesIndividualStats(t *testing.T) {
+	xs := []float64{7, 1.5, 9, 3, 3, 12, -4, 8, 0.25, 9}
+	orig := append([]float64{}, xs...)
+	s := Summarize(xs)
+	if s.Median != Median(orig) || s.P10 != Quantile(orig, 0.10) || s.P90 != Quantile(orig, 0.90) {
+		t.Errorf("order statistics diverge: %+v", s)
+	}
+	if s.Mean != Mean(orig) || s.StdDev != StdDev(orig) {
+		t.Errorf("moments diverge: %+v", s)
+	}
+	if s.Min != -4 || s.Max != 12 {
+		t.Errorf("min/max: %+v", s)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Summarize mutated its input")
+		}
 	}
 }
 

@@ -35,6 +35,25 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// SampleVariance returns the unbiased (n−1, Bessel-corrected) sample
+// variance of xs, the right estimator when xs is a sample from a larger
+// population (as the per-repetition results are).
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// SampleStdDev returns the sample (n−1) standard deviation of xs.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics. It returns 0 for an empty slice.
 func Quantile(xs []float64, q float64) float64 {
@@ -44,30 +63,20 @@ func Quantile(xs []float64, q float64) float64 {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	if q <= 0 {
-		return s[0]
-	}
-	if q >= 1 {
-		return s[len(s)-1]
-	}
-	pos := q * float64(len(s)-1)
-	i := int(pos)
-	frac := pos - float64(i)
-	if i >= len(s)-1 {
-		return s[len(s)-1]
-	}
-	return s[i] + frac*(s[i+1]-s[i])
+	return quantileSorted(s, q)
 }
 
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
-// StandardError returns the standard error of the mean of xs.
+// StandardError returns the standard error of the mean of xs, using the
+// sample (n−1) standard deviation: xs is a sample of runs, not the whole
+// population, so the population form would bias the error low.
 func StandardError(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return SampleStdDev(xs) / math.Sqrt(float64(len(xs)))
 }
 
 // Summary collects the descriptive statistics reported in the paper's
@@ -83,30 +92,47 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs.
+// quantileSorted is Quantile over an already-sorted slice, so one sort can
+// serve several quantiles.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Summarize computes a Summary of xs. The runner summarizes every
+// repetition, so the slice is copied and sorted exactly once and every order
+// statistic — median, P10, P90, min, max — reads from that one sorted copy.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),
-		Median: Median(xs),
+		Median: quantileSorted(s, 0.5),
 		StdDev: StdDev(xs),
-		P10:    Quantile(xs, 0.10),
-		P90:    Quantile(xs, 0.90),
-		Min:    xs[0],
-		Max:    xs[0],
+		P10:    quantileSorted(s, 0.10),
+		P90:    quantileSorted(s, 0.90),
+		Min:    s[0],
+		Max:    s[len(s)-1],
 	}
-	for _, x := range xs {
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
-	}
-	return s
 }
 
 func (s Summary) String() string {
