@@ -44,11 +44,17 @@ func main() {
 		return
 	}
 
+	if *paper && *quick {
+		log.Fatal("experiments: -paper and -quick are mutually exclusive; pick one budget")
+	}
+	budget := "default"
 	cfg := exp.DefaultRunConfig()
 	if *paper {
+		budget = "paper"
 		cfg = exp.PaperRunConfig()
 	}
 	if *quick {
+		budget = "quick"
 		cfg = exp.QuickRunConfig()
 	}
 	if *runs > 0 {
@@ -64,6 +70,11 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
+		overridden := ""
+		if *runs > 0 || *duration > 0 {
+			overridden = " (with -runs/-duration overrides)"
+		}
+		log.Printf("budget in effect: %s%s — %d runs of %v per scheme", budget, overridden, cfg.Runs, cfg.Duration)
 	}
 
 	var ids []string

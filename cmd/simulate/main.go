@@ -41,7 +41,9 @@ func main() {
 
 	var spec scenario.Spec
 	if *specFile != "" {
-		s, err := scenario.ReadFile(*specFile)
+		// Strict decoding: a typo'd key in a hand-written spec file fails
+		// loudly instead of silently running the wrong scenario.
+		s, err := scenario.ReadFileStrict(*specFile)
 		if err != nil {
 			log.Fatalf("simulate: %v", err)
 		}
@@ -89,16 +91,40 @@ func main() {
 	// Per-flow detail for the first repetition, then one deterministic
 	// summary line per repetition (identical output for any -workers value).
 	first := results[0]
-	fmt.Printf("%-6s %12s %14s %10s %10s %10s\n", "flow", "tput (Mbps)", "queue delay", "loss rate", "on time", "packets")
-	var tputs, delays []float64
-	for i, f := range first.Res.Flows {
-		m := f.Metrics
-		tputs = append(tputs, m.Mbps())
-		delays = append(delays, m.QueueingDelayMs())
-		fmt.Printf("%-6d %12.3f %11.2f ms %10.4f %8.1f s %10d\n",
-			i, m.Mbps(), m.QueueingDelayMs(), m.LossRate(), m.OnDuration, m.PacketsSent)
+	if len(first.Res.Flows) > 0 {
+		fmt.Printf("%-6s %12s %14s %10s %10s %10s\n", "flow", "tput (Mbps)", "queue delay", "loss rate", "on time", "packets")
+		var tputs, delays []float64
+		for i, f := range first.Res.Flows {
+			m := f.Metrics
+			tputs = append(tputs, m.Mbps())
+			delays = append(delays, m.QueueingDelayMs())
+			fmt.Printf("%-6d %12.3f %11.2f ms %10.4f %8.1f s %10d\n",
+				i, m.Mbps(), m.QueueingDelayMs(), m.LossRate(), m.OnDuration, m.PacketsSent)
+		}
+		fmt.Printf("\nmedians: %.3f Mbps, %.2f ms queueing delay\n", stats.Median(tputs), stats.Median(delays))
 	}
-	fmt.Printf("\nmedians: %.3f Mbps, %.2f ms queueing delay\n", stats.Median(tputs), stats.Median(delays))
+
+	// Churn classes report population counts and flow-completion-time
+	// percentiles (streaming aggregates; percentiles are P² estimates).
+	if len(first.Res.Churn) > 0 {
+		fmt.Printf("\nflow churn (first repetition):\n")
+		fmt.Printf("%-6s %-12s %8s %8s %8s %10s %10s %10s %10s\n",
+			"class", "scheme", "spawned", "done", "rejected", "mean FCT", "p50", "p95", "p99")
+		for _, c := range first.Res.Churn {
+			f := c.FCT
+			fmt.Printf("%-6d %-12s %8d %8d %8d %7.1f ms %7.1f ms %7.1f ms %7.1f ms\n",
+				c.Class, c.Algorithm, c.Spawned, c.Completed, c.Rejected,
+				f.Mean*1e3, f.P50*1e3, f.P95*1e3, f.P99*1e3)
+		}
+		var spawned, completed int64
+		for _, res := range results {
+			for _, c := range res.Res.Churn {
+				spawned += c.Spawned
+				completed += c.Completed
+			}
+		}
+		fmt.Printf("flows completed across all repetitions: %d of %d spawned\n", completed, spawned)
+	}
 
 	// Topology specs route flows over several links: a single "bottleneck"
 	// line would mix network-wide counters with one link's delivery count,

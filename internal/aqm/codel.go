@@ -25,7 +25,7 @@ const (
 // packet capacity underneath.
 type CoDel struct {
 	capacity int
-	queue    []*netsim.Packet
+	queue    pktRing
 	bytes    int
 	drops    int64
 
@@ -88,7 +88,7 @@ func NewCoDelWithParams(capacity int, target, interval sim.Time) (*CoDel, error)
 
 // Enqueue implements netsim.Queue.
 func (q *CoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
-	if len(q.queue) >= q.capacity {
+	if q.queue.Len() >= q.capacity {
 		q.drops++
 		return false
 	}
@@ -96,15 +96,13 @@ func (q *CoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 		q.maxPacket = p.Size
 	}
 	p.EnqueuedAt = now
-	q.queue = append(q.queue, p)
+	q.queue.Push(p)
 	q.bytes += p.Size
 	return true
 }
 
 func (q *CoDel) popHead() *netsim.Packet {
-	p := q.queue[0]
-	q.queue[0] = nil
-	q.queue = q.queue[1:]
+	p := q.queue.Pop()
 	q.bytes -= p.Size
 	return p
 }
@@ -113,7 +111,7 @@ func (q *CoDel) popHead() *netsim.Packet {
 // below target (or the queue occupancy is tiny), i.e. whether CoDel should
 // leave the dropping state.
 func (q *CoDel) doDequeue(now sim.Time) (*netsim.Packet, bool) {
-	if len(q.queue) == 0 {
+	if q.queue.Len() == 0 {
 		q.firstAboveTime = 0
 		return nil, true
 	}
@@ -199,7 +197,7 @@ func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
 }
 
 // Len implements netsim.Queue.
-func (q *CoDel) Len() int { return len(q.queue) }
+func (q *CoDel) Len() int { return q.queue.Len() }
 
 // Bytes implements netsim.Queue.
 func (q *CoDel) Bytes() int { return q.bytes }

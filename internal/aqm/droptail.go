@@ -18,7 +18,7 @@ import (
 // the 1000-packet buffers used throughout §5.
 type DropTail struct {
 	capacity int
-	queue    []*netsim.Packet
+	queue    pktRing
 	bytes    int
 	drops    int64
 
@@ -65,34 +65,32 @@ func NewECNMarking(capacity, markThreshold int) (*DropTail, error) {
 
 // Enqueue implements netsim.Queue.
 func (q *DropTail) Enqueue(p *netsim.Packet, now sim.Time) bool {
-	if len(q.queue) >= q.capacity {
+	if q.queue.Len() >= q.capacity {
 		q.drops++
 		return false
 	}
-	if q.markThreshold > 0 && p.ECNCapable && len(q.queue) >= q.markThreshold {
+	if q.markThreshold > 0 && p.ECNCapable && q.queue.Len() >= q.markThreshold {
 		p.ECNMarked = true
 		q.marks++
 	}
 	p.EnqueuedAt = now
-	q.queue = append(q.queue, p)
+	q.queue.Push(p)
 	q.bytes += p.Size
 	return true
 }
 
 // Dequeue implements netsim.Queue.
 func (q *DropTail) Dequeue(now sim.Time) *netsim.Packet {
-	if len(q.queue) == 0 {
+	if q.queue.Len() == 0 {
 		return nil
 	}
-	p := q.queue[0]
-	q.queue[0] = nil
-	q.queue = q.queue[1:]
+	p := q.queue.Pop()
 	q.bytes -= p.Size
 	return p
 }
 
 // Len implements netsim.Queue.
-func (q *DropTail) Len() int { return len(q.queue) }
+func (q *DropTail) Len() int { return q.queue.Len() }
 
 // Bytes implements netsim.Queue.
 func (q *DropTail) Bytes() int { return q.bytes }

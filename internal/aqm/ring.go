@@ -1,0 +1,22 @@
+package aqm
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/ring"
+)
+
+// The FIFO substrates under the queue disciplines used to be plain slices
+// advanced with q.queue[1:], which permanently consumes backing-array
+// capacity: once the head pointer has walked off the front, every append
+// reallocates, so a busy queue allocates roughly once per packet in steady
+// state. They now sit on the shared ring buffer (internal/ring), which
+// grows by doubling up to the observed peak occupancy and then never
+// allocates again — what keeps the churn scenarios' per-packet hot path
+// allocation-free. Element order is exactly FIFO, identical to the slice
+// form, so golden fixtures are unaffected.
+
+// pktRing is the FIFO of queued packets.
+type pktRing = ring.Ring[*netsim.Packet]
+
+// intRing is the FIFO of bucket indices (sfqCoDel's round-robin rotation).
+type intRing = ring.Ring[int]

@@ -15,7 +15,7 @@ import (
 type SfqCoDel struct {
 	buckets  []*CoDel
 	deficits []int
-	active   []int // round-robin order of non-empty buckets
+	active   intRing // round-robin order of non-empty buckets
 	inActive []bool
 	quantum  int
 	capacity int // total packets across buckets
@@ -102,7 +102,7 @@ func (q *SfqCoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 	q.bytes += p.Size
 	if !q.inActive[b] {
 		q.inActive[b] = true
-		q.active = append(q.active, b)
+		q.active.Push(b)
 		q.deficits[b] = q.quantum
 	}
 	return true
@@ -111,25 +111,25 @@ func (q *SfqCoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 // Dequeue implements netsim.Queue, serving buckets by deficit round robin
 // and applying each bucket's CoDel drop law.
 func (q *SfqCoDel) Dequeue(now sim.Time) *netsim.Packet {
-	for len(q.active) > 0 {
-		b := q.active[0]
+	for q.active.Len() > 0 {
+		b := q.active.Peek()
 		bucket := q.buckets[b]
 		if bucket.Len() == 0 {
 			// Bucket drained; retire it from the active list.
-			q.active = q.active[1:]
+			q.active.Pop()
 			q.inActive[b] = false
 			continue
 		}
 		if q.deficits[b] <= 0 {
 			// Move to the back of the round and replenish the deficit.
-			q.active = append(q.active[1:], b)
+			q.active.Push(q.active.Pop())
 			q.deficits[b] += q.quantum
 			continue
 		}
 		p := bucket.Dequeue(now)
 		// CoDel's dequeue-time drops are accounted by onBucketDrop.
 		if p == nil {
-			q.active = q.active[1:]
+			q.active.Pop()
 			q.inActive[b] = false
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -63,8 +64,9 @@ type Transport struct {
 	cumAck      int64
 	outstanding map[int64]sentRecord
 	// retransmitQueue holds sequence numbers that must be resent before any
-	// new data.
-	retransmitQueue []int64
+	// new data. It is a ring rather than a head-advanced slice so recovery
+	// stays allocation-free in steady state (see internal/ring).
+	retransmitQueue ring.Ring[int64]
 	// lostScratch is reused by queuePresumedLost to sort loss candidates
 	// without allocating on every recovery event.
 	lostScratch []int64
@@ -133,6 +135,12 @@ func (t *Transport) Algorithm() Algorithm { return t.algo }
 // Stats returns a copy of the accumulated counters.
 func (t *Transport) Stats() Stats { return t.stats }
 
+// ResetStats zeroes the accumulated counters. Churn harnesses recycle
+// transports across flow incarnations and reset the counters at each spawn
+// so per-flow aggregates stay per-incarnation; long-lived static flows never
+// call it (their counters deliberately span on periods).
+func (t *Transport) ResetStats() { t.stats = Stats{} }
+
 // Active reports whether the flow currently has data to send.
 func (t *Transport) Active() bool { return t.active }
 
@@ -150,7 +158,7 @@ func (t *Transport) StartFlow(now sim.Time) {
 	t.nextSeq = 0
 	t.cumAck = 0
 	clear(t.outstanding)
-	t.retransmitQueue = t.retransmitQueue[:0]
+	t.retransmitQueue.Clear()
 	t.dupAcks = 0
 	t.inRecovery = false
 	t.highestAcked = -1
@@ -174,7 +182,7 @@ func (t *Transport) StopFlow(now sim.Time) {
 	t.paceTimer.Stop()
 	t.pacePending = false
 	clear(t.outstanding)
-	t.retransmitQueue = t.retransmitQueue[:0]
+	t.retransmitQueue.Clear()
 }
 
 // effectiveWindow clamps the algorithm's window to at least one packet.
@@ -221,9 +229,8 @@ func (t *Transport) sendOne(now sim.Time) {
 	var seq int64
 	retransmit := false
 	// Pop retransmissions whose packets have since been acknowledged.
-	for len(t.retransmitQueue) > 0 {
-		cand := t.retransmitQueue[0]
-		t.retransmitQueue = t.retransmitQueue[1:]
+	for t.retransmitQueue.Len() > 0 {
+		cand := t.retransmitQueue.Pop()
 		if rec, ok := t.outstanding[cand]; ok {
 			rec.queued = false
 			t.outstanding[cand] = rec
@@ -280,7 +287,7 @@ func (t *Transport) onRTO(now sim.Time) {
 	// Go-back-N: everything beyond the cumulative ack is considered lost and
 	// will be resent as new data.
 	clear(t.outstanding)
-	t.retransmitQueue = t.retransmitQueue[:0]
+	t.retransmitQueue.Clear()
 	t.nextSeq = t.cumAck
 	t.dupAcks = 0
 	t.inRecovery = false
@@ -444,7 +451,7 @@ func (t *Transport) queueRetransmit(seq int64) {
 	}
 	rec.queued = true
 	t.outstanding[seq] = rec
-	t.retransmitQueue = append(t.retransmitQueue, seq)
+	t.retransmitQueue.Push(seq)
 }
 
 // SRTT returns the smoothed RTT estimate.

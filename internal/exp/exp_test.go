@@ -120,8 +120,8 @@ func TestLoadOrTrainRemyCCLoadsExistingAsset(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Errorf("registry has %d experiments, want 14 (every table and figure, plus beyond-dumbbell)", len(exps))
+	if len(exps) != 15 {
+		t.Errorf("registry has %d experiments, want 15 (every table and figure, plus beyond-dumbbell and churn)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -133,7 +133,7 @@ func TestRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "table4", "beyond"} {
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "table4", "beyond", "churn"} {
 		if _, err := Lookup(id); err != nil {
 			t.Errorf("Lookup(%s): %v", id, err)
 		}
@@ -378,6 +378,41 @@ func TestFigure11DesignRange(t *testing.T) {
 	for _, want := range []string{"4.7", "15.0", "47.0"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing link speed row %s", want)
+		}
+	}
+}
+
+func TestFlowChurnExperiment(t *testing.T) {
+	rep, err := FlowChurn(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "churn" {
+		t.Errorf("report id %q", rep.ID)
+	}
+	// Three loads x four schemes.
+	if len(rep.Schemes) != 12 {
+		t.Fatalf("got %d scheme results, want 12", len(rep.Schemes))
+	}
+	// Each load section renders a header plus one line per scheme.
+	var schemeLines int
+	for _, l := range rep.Lines {
+		for _, scheme := range []string{"remy-1x", "cubic", "newreno", "vegas"} {
+			if strings.HasPrefix(l, scheme+" ") {
+				schemeLines++
+				break
+			}
+		}
+	}
+	if schemeLines != 12 {
+		t.Errorf("report renders %d scheme lines, want 12:\n%s", schemeLines, rep.String())
+	}
+	// Churn must actually have happened: the rendered report cannot claim
+	// zero completions everywhere (guarded loosely via the structured
+	// results' loss-free point clouds being populated for the static flow).
+	for _, s := range rep.Schemes {
+		if len(s.Points) == 0 {
+			t.Errorf("%s produced no static-flow observations", s.Protocol)
 		}
 	}
 }

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{ID: "table4", Title: "Competing protocols (§5.6)", Run: Table4},
 		{ID: "fig11", Title: "Prior-knowledge sensitivity (§5.7)", Run: Figure11},
 		{ID: "beyond", Title: "Beyond the dumbbell: multi-bottleneck, cross-traffic and asymmetric paths (§7 open question)", Run: BeyondDumbbell},
+		{ID: "churn", Title: "Flow churn: FCTs under Poisson arrivals at three offered loads", Run: FlowChurn},
 	}
 }
 

@@ -44,15 +44,40 @@ type FlowSummary struct {
 	OnPeriods       int    `json:"on_periods"`
 }
 
+// ChurnSummary is one churn class's integer-exact outcome: population
+// counters, microsecond-exact flow-completion-time aggregates, and the
+// class's accumulated transport counters. Equality here means the class saw
+// the identical sequence of arrivals, spawns, completions and rejections.
+type ChurnSummary struct {
+	Scheme          string `json:"scheme"`
+	Spawned         int64  `json:"spawned"`
+	Completed       int64  `json:"completed"`
+	Rejected        int64  `json:"rejected"`
+	FCTSumUs        int64  `json:"fct_sum_us"`
+	FCTMinUs        int64  `json:"fct_min_us"`
+	FCTMaxUs        int64  `json:"fct_max_us"`
+	PacketsSent     int64  `json:"packets_sent"`
+	Retransmissions int64  `json:"retransmissions"`
+	Timeouts        int64  `json:"timeouts"`
+	LossEvents      int64  `json:"loss_events"`
+	AcksReceived    int64  `json:"acks_received"`
+	BytesAcked      int64  `json:"bytes_acked"`
+	RTTSamples      int64  `json:"rtt_samples"`
+	RTTSumUs        int64  `json:"rtt_sum_us"`
+}
+
 // RunSummary is one repetition's outcome: bottleneck counters plus each
-// flow's summary in attachment order.
+// flow's summary in attachment order (and, for churn scenarios, each churn
+// class's summary in class order — omitted entirely for the pre-churn
+// fixtures, which therefore remain byte-identical).
 type RunSummary struct {
-	Rep       int           `json:"rep"`
-	Seed      int64         `json:"seed"`
-	Offered   int64         `json:"offered"`
-	Delivered int64         `json:"delivered"`
-	Dropped   int64         `json:"dropped"`
-	Flows     []FlowSummary `json:"flows"`
+	Rep       int            `json:"rep"`
+	Seed      int64          `json:"seed"`
+	Offered   int64          `json:"offered"`
+	Delivered int64          `json:"delivered"`
+	Dropped   int64          `json:"dropped"`
+	Flows     []FlowSummary  `json:"flows"`
+	Churn     []ChurnSummary `json:"churn,omitempty"`
 }
 
 // SchemeSummary is one protocol's runs on one topology.
@@ -233,6 +258,19 @@ func DefaultScenarios() []ScenarioSet {
 				return scenario.AsymmetricReverseSpec(familyConfig(c))
 			},
 		},
+		// The flow-churn family pins the dynamic-population engine: Poisson
+		// arrivals, completion-driven retirement, port/slot recycling and the
+		// streaming FCT aggregates, all reduced to integer counters.
+		{
+			Name: "flowchurn",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "cubic"}, {scheme: "cubic/sfqcodel"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				return scenario.FlowChurnSpec(familyConfig(c))
+			},
+		},
 	}
 }
 
@@ -284,6 +322,26 @@ func Capture(set ScenarioSet, workers int) (Summary, error) {
 					MinRTTUs:        int64(st.MinRTT),
 					MaxRTTUs:        int64(st.MaxRTT),
 					OnPeriods:       f.OnPeriods,
+				})
+			}
+			for _, cr := range res.Res.Churn {
+				st := cr.Transport
+				run.Churn = append(run.Churn, ChurnSummary{
+					Scheme:          cr.Algorithm,
+					Spawned:         cr.Spawned,
+					Completed:       cr.Completed,
+					Rejected:        cr.Rejected,
+					FCTSumUs:        cr.FCTSumUs,
+					FCTMinUs:        cr.FCTMinUs,
+					FCTMaxUs:        cr.FCTMaxUs,
+					PacketsSent:     st.PacketsSent,
+					Retransmissions: st.Retransmissions,
+					Timeouts:        st.Timeouts,
+					LossEvents:      st.LossEvents,
+					AcksReceived:    st.AcksReceived,
+					BytesAcked:      st.BytesAcked,
+					RTTSamples:      st.RTTSamples,
+					RTTSumUs:        int64(st.RTTSum),
 				})
 			}
 			ss.Runs = append(ss.Runs, run)

@@ -91,6 +91,41 @@ func TestGoldenWorkerCountDeterminism(t *testing.T) {
 	}
 }
 
+// TestFlowChurnWorkerInvariance pins the churn fixture across 1, 4 and 8
+// workers explicitly: the dynamic population engine (arrival processes,
+// pooled spawns, slot reuse) must be as schedule-independent as the static
+// battery.
+func TestFlowChurnWorkerInvariance(t *testing.T) {
+	var set ScenarioSet
+	for _, s := range DefaultScenarios() {
+		if s.Name == "flowchurn" {
+			set = s
+		}
+	}
+	if set.Name == "" {
+		t.Fatal("flowchurn scenario set missing from the battery")
+	}
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		sum, err := Capture(set, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sum.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if string(got) != string(ref) {
+			t.Errorf("flowchurn summary differs with %d workers", workers)
+			diffFirst(t, ref, got)
+		}
+	}
+}
+
 // diffFirst logs the first line at which two fixture encodings diverge.
 func diffFirst(t *testing.T, want, got []byte) {
 	t.Helper()

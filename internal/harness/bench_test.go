@@ -66,6 +66,22 @@ func BenchmarkParkingLot(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowChurn measures the dynamic-population engine: 500+ flows
+// churning through the parking-lot topology (three Poisson classes plus one
+// static long flow) over 20 simulated seconds. allocs/op is dominated by
+// per-run setup and pool growth to the peak live population; the per-packet
+// steady state allocates nothing (see TestChurnSteadyStateAllocs).
+func BenchmarkFlowChurn(b *testing.B) {
+	s := flowChurnBenchScenario(20 * sim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunQuickDumbbellCubic is the same end-to-end run with Cubic, a
 // heavier per-ACK code path.
 func BenchmarkRunQuickDumbbellCubic(b *testing.B) {

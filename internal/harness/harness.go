@@ -127,18 +127,64 @@ type Scenario struct {
 	Duration sim.Time
 	Flows    []FlowSpec
 
+	// Churn lists classes of dynamically arriving flows: each class spawns a
+	// fresh flow per arrival (its size drawn from the class's distribution)
+	// and retires it once the transfer completes, recording the flow
+	// completion time. Static Flows and churn classes may coexist; a scenario
+	// needs at least one of the two. In the engine the static list is just
+	// the degenerate churn case — flows that exist from t=0 and never
+	// complete.
+	Churn []ChurnClass
+	// MaxLiveFlows caps the concurrently live churn population across all
+	// classes; arrivals beyond the cap are rejected (counted per class, not
+	// deferred). 0 means DefaultMaxLiveFlows. Static flows do not count
+	// against the cap.
+	MaxLiveFlows int
+
 	// OnDeliver, if set, observes every packet delivered to a receiver
 	// (sequence plots such as Figure 6).
 	OnDeliver func(p *netsim.Packet, now sim.Time)
 }
 
+// DefaultMaxLiveFlows is the churn population cap when the scenario does not
+// set one: large enough for heavy offered loads, small enough that an
+// overload cannot grow state without bound.
+const DefaultMaxLiveFlows = 1024
+
+// ChurnClass describes one class of dynamically arriving flows: an arrival
+// process (Poisson when Interarrival is exponential), a flow-size
+// distribution, and the path/scheme every spawned flow uses.
+type ChurnClass struct {
+	// Interarrival is the distribution of gaps between arrivals, in seconds.
+	Interarrival workload.Distribution
+	// Size is the distribution of per-flow transfer sizes, in bytes.
+	Size workload.Distribution
+	// MaxArrivals stops the class after that many arrivals (0 = unlimited).
+	MaxArrivals int64
+	// RTTMs is the flows' two-way access propagation delay in milliseconds.
+	RTTMs float64
+	// NewAlgorithm constructs the congestion-control algorithm for one
+	// spawned flow. Pooled flow states reuse algorithm instances across
+	// incarnations (they are Reset at each spawn), so it is invoked once per
+	// concurrently-live flow, not once per arrival.
+	NewAlgorithm func() cc.Algorithm
+	// Path and ReversePath route spawned flows across a multi-link topology,
+	// exactly as in FlowSpec. They must be empty for single-bottleneck
+	// scenarios, where flows attach to the primary link.
+	Path        []string
+	ReversePath []string
+}
+
 // Validate reports configuration errors.
 func (s Scenario) Validate() error {
-	if len(s.Flows) == 0 {
+	if len(s.Flows) == 0 && len(s.Churn) == 0 {
 		return fmt.Errorf("harness: scenario has no flows")
 	}
 	if s.Duration <= 0 {
 		return fmt.Errorf("harness: scenario duration must be positive")
+	}
+	if s.MaxLiveFlows < 0 {
+		return fmt.Errorf("harness: negative max live flows")
 	}
 	if len(s.Links) > 0 {
 		names := make(map[string]bool, len(s.Links))
@@ -175,6 +221,21 @@ func (s Scenario) Validate() error {
 				}
 			}
 		}
+		for ci, c := range s.Churn {
+			if len(c.Path) == 0 {
+				return fmt.Errorf("harness: churn class %d has no path through the topology", ci)
+			}
+			for _, name := range c.Path {
+				if !names[name] {
+					return fmt.Errorf("harness: churn class %d path references unknown link %q", ci, name)
+				}
+			}
+			for _, name := range c.ReversePath {
+				if !names[name] {
+					return fmt.Errorf("harness: churn class %d reverse path references unknown link %q", ci, name)
+				}
+			}
+		}
 	} else {
 		if len(s.Trace) == 0 && s.LinkRateBps <= 0 {
 			return fmt.Errorf("harness: need a link rate or a trace")
@@ -182,6 +243,11 @@ func (s Scenario) Validate() error {
 		for i, f := range s.Flows {
 			if len(f.Path) > 0 || len(f.ReversePath) > 0 {
 				return fmt.Errorf("harness: flow %d routes over links but the scenario defines none", i)
+			}
+		}
+		for ci, c := range s.Churn {
+			if len(c.Path) > 0 || len(c.ReversePath) > 0 {
+				return fmt.Errorf("harness: churn class %d routes over links but the scenario defines none", ci)
 			}
 		}
 	}
@@ -199,6 +265,18 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("harness: flow %d workload: %w", i, err)
 		}
 	}
+	for ci, c := range s.Churn {
+		if c.RTTMs < 0 {
+			return fmt.Errorf("harness: churn class %d has negative RTT", ci)
+		}
+		if c.NewAlgorithm == nil {
+			return fmt.Errorf("harness: churn class %d has no algorithm", ci)
+		}
+		spec := workload.ArrivalSpec{Interarrival: c.Interarrival, Size: c.Size, MaxArrivals: c.MaxArrivals}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("harness: churn class %d: %w", ci, err)
+		}
+	}
 	return nil
 }
 
@@ -214,9 +292,34 @@ type FlowResult struct {
 	OnPeriods int
 }
 
+// ChurnResult reports one churn class's outcome from one run.
+type ChurnResult struct {
+	// Class is the class index within Scenario.Churn.
+	Class int
+	// Algorithm is the scheme name the class's flows ran.
+	Algorithm string
+	// Spawned counts flows that arrived and attached; Completed those that
+	// finished their transfer before the horizon; Rejected arrivals refused
+	// because the live population was at MaxLiveFlows. Spawned - Completed
+	// flows were still live when the run ended.
+	Spawned, Completed, Rejected int64
+	// FCT summarizes the completed flows' completion times in seconds
+	// (streaming aggregation: exact count/mean/min/max, P² p50/p95/p99).
+	FCT stats.FCTSummary
+	// FCTSumUs, FCTMinUs and FCTMaxUs are the integer-exact microsecond
+	// aggregates of the completion times (golden fixtures compare these).
+	FCTSumUs, FCTMinUs, FCTMaxUs int64
+	// Transport aggregates the transport counters over every spawned flow:
+	// completed flows at retirement plus still-live flows at the horizon.
+	Transport cc.Stats
+}
+
 // Result is the outcome of one Run.
 type Result struct {
 	Flows []FlowResult
+	// Churn reports per-class churn outcomes, in class order (empty for
+	// scenarios without churn classes).
+	Churn []ChurnResult
 	// Offered, Delivered and Dropped count data packets: offered at first-hop
 	// queues, delivered by the primary link, dropped on arrival at any queue.
 	Offered, Delivered, Dropped int64
@@ -272,18 +375,10 @@ func Run(s Scenario, seed int64) (Result, error) {
 		}
 	}
 
-	type flowState struct {
-		transport *cc.Transport
-		switcher  *workload.Switcher
-		algoName  string
-		onTime    sim.Time
-		lastOn    sim.Time
-		onPeriods int
-	}
 	flows := make([]*flowState, len(s.Flows))
 
 	for i, spec := range s.Flows {
-		fs := &flowState{}
+		fs := &flowState{class: -1}
 		flows[i] = fs
 
 		var transport *cc.Transport
@@ -334,6 +429,15 @@ func Run(s Scenario, seed int64) (Result, error) {
 		}
 	}
 
+	// The churn runtime attaches after every static flow, so static ports
+	// keep slots 0..len(flows)-1 and the static RNG split order is unchanged
+	// — a churn-free scenario runs the byte-identical event sequence it
+	// always has.
+	churn, err := newChurnRuntime(&s, engine, network, rootRNG, mtu)
+	if err != nil {
+		return Result{}, err
+	}
+
 	// Arm everything and run. Queues with an internal control loop (the XCP
 	// router) expose Start and are armed alongside the network.
 	network.Start(0)
@@ -345,7 +449,11 @@ func Run(s Scenario, seed int64) (Result, error) {
 	for _, fs := range flows {
 		fs.switcher.Start(0)
 	}
+	churn.start(0)
 	engine.Run(s.Duration)
+	if churn.err != nil {
+		return Result{}, churn.err
+	}
 
 	// Collect metrics.
 	res := Result{
@@ -395,6 +503,7 @@ func Run(s Scenario, seed int64) (Result, error) {
 			OnPeriods: fs.onPeriods,
 		})
 	}
+	churn.collect(&res)
 	return res, nil
 }
 

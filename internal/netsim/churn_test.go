@@ -1,0 +1,290 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"repro/internal/aqm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// buildOneLink returns a graph with a single slow link so packets linger in
+// queues and in service long enough for detachment races to matter.
+func buildOneLink(t *testing.T, eng *sim.Engine) (*netsim.Network, *netsim.Link) {
+	t.Helper()
+	n, err := netsim.NewGraph(eng, netsim.GraphConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.AddLink(netsim.LinkConfig{Name: "l", RateBps: 1e6, Delay: 10 * sim.Millisecond, Queue: aqm.MustDropTail(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, l
+}
+
+func sendOne(p *netsim.Port, now sim.Time) {
+	pkt := p.NewPacket()
+	pkt.Seq = 0
+	p.Send(pkt, now)
+}
+
+// TestDetachDropsInFlightPackets detaches a flow while its packets are still
+// queued; the packets must be recycled, never delivered, and never
+// acknowledged.
+func TestDetachDropsInFlightPackets(t *testing.T) {
+	eng := sim.NewEngine()
+	n, l := buildOneLink(t, eng)
+	sink := &ackSink{}
+	port, err := n.AttachFlowRoute(sink, []*netsim.Link{l}, nil, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.LiveFlows() != 1 {
+		t.Fatalf("LiveFlows = %d, want 1", n.LiveFlows())
+	}
+	for i := 0; i < 5; i++ {
+		pkt := port.NewPacket()
+		pkt.Seq = int64(i)
+		port.Send(pkt, 0)
+	}
+	if err := n.DetachFlow(port); err != nil {
+		t.Fatal(err)
+	}
+	if port.Attached() || n.LiveFlows() != 0 {
+		t.Error("port still attached after DetachFlow")
+	}
+	eng.Run(sim.Second)
+	if len(sink.acks) != 0 {
+		t.Errorf("detached flow received %d acks", len(sink.acks))
+	}
+	// Sending through a detached port is a silent no-op backstop.
+	if ok := port.Send(port.NewPacket(), eng.Now()); ok {
+		t.Error("Send on a detached port reported success")
+	}
+	if err := n.DetachFlow(port); err == nil {
+		t.Error("double DetachFlow accepted")
+	}
+}
+
+// TestSlotReuseDoesNotLeakStalePackets retires flow A with packets in flight
+// and immediately attaches flow B into the freed slot: A's packets must not
+// produce acknowledgments for B.
+func TestSlotReuseDoesNotLeakStalePackets(t *testing.T) {
+	eng := sim.NewEngine()
+	n, l := buildOneLink(t, eng)
+	sinkA, sinkB := &ackSink{}, &ackSink{}
+	portA, err := n.AttachFlowRoute(sinkA, []*netsim.Link{l}, nil, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotA := portA.Flow()
+	for i := 0; i < 5; i++ {
+		pkt := portA.NewPacket()
+		pkt.Seq = int64(i)
+		portA.Send(pkt, 0)
+	}
+	if err := n.DetachFlow(portA); err != nil {
+		t.Fatal(err)
+	}
+	portB, err := n.AttachFlowRoute(sinkB, []*netsim.Link{l}, nil, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if portB.Flow() != slotA {
+		t.Fatalf("expected slot reuse: B in slot %d, A was in %d", portB.Flow(), slotA)
+	}
+	// B sends its own packet after A's stale ones are already queued.
+	pkt := portB.NewPacket()
+	pkt.Seq = 100
+	portB.Send(pkt, 0)
+	eng.Run(sim.Second)
+	if len(sinkA.acks) != 0 {
+		t.Errorf("detached flow A received %d acks", len(sinkA.acks))
+	}
+	if len(sinkB.acks) != 1 || sinkB.acks[0].Seq != 100 {
+		t.Fatalf("flow B acks = %+v, want exactly its own Seq 100", sinkB.acks)
+	}
+}
+
+// TestDetachWhileAckPropagating detaches after the receiver has generated the
+// acknowledgment but before it has crossed the reverse propagation delay; the
+// stale ack must be swallowed.
+func TestDetachWhileAckPropagating(t *testing.T) {
+	eng := sim.NewEngine()
+	n, l := buildOneLink(t, eng)
+	sink := &ackSink{}
+	oneWay := 50 * sim.Millisecond
+	port, err := n.AttachFlowRoute(sink, []*netsim.Link{l}, nil, oneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendOne(port, 0)
+	// Service 12 ms + link delay 10 ms + access 50 ms = delivery at 72 ms;
+	// the ack then needs another 50 ms. Detach in between, at 100 ms.
+	eng.Run(100 * sim.Millisecond)
+	if err := n.DetachFlow(port); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(sim.Second)
+	if len(sink.acks) != 0 {
+		t.Errorf("ack delivered to detached flow: %+v", sink.acks)
+	}
+}
+
+// TestDetachWithReverseRouteAcks covers the congestible-ACK-path variant:
+// ack packets queued on a reverse link when the flow detaches are recycled,
+// and the reverse queue keeps draining without misdelivery.
+func TestDetachWithReverseRouteAcks(t *testing.T) {
+	eng := sim.NewEngine()
+	n, err := netsim.NewGraph(eng, netsim.GraphConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := n.AddLink(netsim.LinkConfig{Name: "fwd", RateBps: 10e6, Delay: sim.Millisecond, Queue: aqm.MustDropTail(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Very slow reverse link: acks pile up in its queue.
+	rev, err := n.AddLink(netsim.LinkConfig{Name: "rev", RateBps: 1e4, Delay: sim.Millisecond, Queue: aqm.MustDropTail(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &ackSink{}
+	port, err := n.AttachFlowRoute(sink, []*netsim.Link{fwd}, []*netsim.Link{rev}, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		pkt := port.NewPacket()
+		pkt.Seq = int64(i)
+		port.Send(pkt, 0)
+	}
+	// Let the data deliver and the acks enter the reverse queue, then detach.
+	eng.Run(50 * sim.Millisecond)
+	got := len(sink.acks)
+	if err := n.DetachFlow(port); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10 * sim.Second)
+	if len(sink.acks) != got {
+		t.Errorf("acks kept arriving after detach: %d -> %d", got, len(sink.acks))
+	}
+}
+
+// TestReattachReusesPortWithoutAllocating drives a warm detach/reattach/send
+// cycle and checks the steady state allocates nothing.
+func TestReattachReusesPortWithoutAllocating(t *testing.T) {
+	eng := sim.NewEngine()
+	n, l := buildOneLink(t, eng)
+	sink := &ackSink{}
+	port, err := n.AttachFlowRoute(sink, []*netsim.Link{l}, nil, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := []*netsim.Link{l}
+	// Warm: one full cycle so pools and free lists exist.
+	sendOne(port, eng.Now())
+	eng.Run(eng.Now() + 100*sim.Millisecond)
+	if err := n.DetachFlow(port); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := n.ReattachFlowRoute(port, route, nil, sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		sendOne(port, eng.Now())
+		eng.Run(eng.Now() + 100*sim.Millisecond)
+		if err := n.DetachFlow(port); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm detach/reattach/send cycle allocates %.1f objects, want 0", allocs)
+	}
+	if len(sink.acks) == 0 {
+		t.Error("reattached flow never received acks")
+	}
+	// Reattaching an attached port must fail.
+	if err := n.ReattachFlowRoute(port, route, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ReattachFlowRoute(port, route, nil, 0); err == nil {
+		t.Error("ReattachFlowRoute on an attached port accepted")
+	}
+}
+
+// TestReattachResetsReceiver pins the reattach contract: a recycled port's
+// receiver starts the new incarnation with fresh cumulative-ack state, so a
+// sender restarting at Seq 0 is not treated as a duplicate of the previous
+// incarnation's stream.
+func TestReattachResetsReceiver(t *testing.T) {
+	eng := sim.NewEngine()
+	n, l := buildOneLink(t, eng)
+	sink := &ackSink{}
+	port, err := n.AttachFlowRoute(sink, []*netsim.Link{l}, nil, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First incarnation delivers Seq 0..2, advancing cumAck to 3.
+	for i := 0; i < 3; i++ {
+		pkt := port.NewPacket()
+		pkt.Seq = int64(i)
+		port.Send(pkt, eng.Now())
+	}
+	eng.Run(eng.Now() + 200*sim.Millisecond)
+	if got := len(sink.acks); got != 3 {
+		t.Fatalf("first incarnation acks = %d, want 3", got)
+	}
+	if cum := sink.acks[2].CumAck; cum != 3 {
+		t.Fatalf("first incarnation CumAck = %d, want 3", cum)
+	}
+	if err := n.DetachFlow(port); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ReattachFlowRoute(port, []*netsim.Link{l}, nil, sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Second incarnation restarts at Seq 0: its ack must carry the fresh
+	// stream's CumAck of 1, not the predecessor's 3.
+	sink.acks = nil
+	sendOne(port, eng.Now())
+	eng.Run(eng.Now() + 200*sim.Millisecond)
+	if len(sink.acks) != 1 {
+		t.Fatalf("second incarnation acks = %d, want 1", len(sink.acks))
+	}
+	if cum := sink.acks[0].CumAck; cum != 1 {
+		t.Errorf("second incarnation CumAck = %d, want 1 (receiver not reset on reattach)", cum)
+	}
+}
+
+// TestGenerationsNeverRepeat attaches into the same slot repeatedly; each
+// attachment must observe a strictly increasing generation via fresh acks
+// only (indirect check: every incarnation gets exactly its own ack).
+func TestGenerationsNeverRepeat(t *testing.T) {
+	eng := sim.NewEngine()
+	n, l := buildOneLink(t, eng)
+	for i := 0; i < 10; i++ {
+		sink := &ackSink{}
+		port, err := n.AttachFlowRoute(sink, []*netsim.Link{l}, nil, sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if port.Flow() != 0 {
+			t.Fatalf("iteration %d landed in slot %d, want reused slot 0", i, port.Flow())
+		}
+		pkt := port.NewPacket()
+		pkt.Seq = int64(i)
+		port.Send(pkt, eng.Now())
+		eng.Run(eng.Now() + 100*sim.Millisecond)
+		if len(sink.acks) != 1 || sink.acks[0].Seq != int64(i) {
+			t.Fatalf("iteration %d acks = %+v", i, sink.acks)
+		}
+		if err := n.DetachFlow(port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Flows() != 1 {
+		t.Errorf("slot count %d, want 1 (all incarnations reuse slot 0)", n.Flows())
+	}
+}

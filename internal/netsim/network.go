@@ -20,6 +20,15 @@ import (
 // exactly that, scheduling the identical event sequence the hard-wired
 // dumbbell used to, so golden fixtures recorded before the generalization
 // remain byte-identical.
+//
+// Flows may attach and detach at runtime (churn scenarios spawn a flow per
+// arrival and retire it on completion). Every attachment gets a fresh
+// generation number, stamped on each packet the flow sends; packets still in
+// flight when their flow detaches — sitting in queues, in service, or
+// propagating — fail the generation check on delivery and are recycled
+// instead of reaching whichever flow later reuses the slot. Detached ports
+// can be re-attached (ReattachFlowRoute) without allocating, so a churning
+// steady state recycles ports just like it recycles packets.
 
 // AckBytes is the default size of acknowledgment packets traversing
 // reverse-path links (a TCP ACK without options).
@@ -63,6 +72,13 @@ type Network struct {
 	ackBytes int
 
 	flows []*Port
+	// freeSlots lists detached flow slots available for reuse (LIFO, so a
+	// churning population stays compact); nextGen is the monotonic attachment
+	// generation counter — generations never repeat within a network, so a
+	// stale packet can never collide with a reused slot's new occupant.
+	freeSlots []int
+	nextGen   uint64
+	liveFlows int
 
 	// OnDeliver, if set, is invoked for every data packet delivered to a
 	// receiver (used by the Figure 6 sequence-plot experiment). The packet is
@@ -88,10 +104,13 @@ type Network struct {
 // ackCarrier ferries one acknowledgment through its return-path propagation
 // event without boxing the Ack value into an interface (which would allocate
 // per packet). It is used only by flows whose reverse path is pure delay;
-// flows with reverse links carry their acks in pooled packets instead.
+// flows with reverse links carry their acks in pooled packets instead. gen
+// pins the flow attachment the ack belongs to, so acks in flight when their
+// flow detaches are dropped rather than delivered to a respawned flow.
 type ackCarrier struct {
 	port *Port
 	ack  Ack
+	gen  uint64
 }
 
 // Port is one flow's attachment point to the network. The sender transmits
@@ -108,8 +127,14 @@ type Port struct {
 	oneWay sim.Time
 	// fwd is the forward route (data direction); rev is the reverse route
 	// (acknowledgments). An empty rev means the uncongested pure-delay return
-	// path of the paper.
+	// path of the paper. Both retain their capacity across detach/reattach
+	// cycles so respawning a flow does not allocate.
 	fwd, rev []*Link
+
+	// gen is the port's current attachment generation (see Network.nextGen);
+	// attached is false between DetachFlow and the next ReattachFlowRoute.
+	gen      uint64
+	attached bool
 
 	packetsSent int64
 	bytesSent   int64
@@ -243,36 +268,110 @@ func (n *Network) AttachFlowRoute(sender Sender, fwd, rev []*Link, oneWay sim.Ti
 	if sender == nil {
 		return nil, fmt.Errorf("netsim: AttachFlowRoute with nil sender")
 	}
-	if oneWay < 0 {
-		return nil, fmt.Errorf("netsim: negative propagation delay")
+	if err := n.validateRoutes(fwd, rev, oneWay); err != nil {
+		return nil, err
 	}
-	if len(fwd) == 0 {
-		return nil, fmt.Errorf("netsim: flow needs at least one forward link")
-	}
-	for _, l := range append(append([]*Link{}, fwd...), rev...) {
-		if l == nil {
-			return nil, fmt.Errorf("netsim: route contains a nil link")
-		}
-		if n.byName[l.name] != l {
-			return nil, fmt.Errorf("netsim: route link %q does not belong to this network", l.name)
-		}
-	}
-	flow := len(n.flows)
 	p := &Port{
 		net:      n,
-		flow:     flow,
 		sender:   sender,
-		receiver: NewReceiver(flow),
+		receiver: NewReceiver(0),
 		oneWay:   oneWay,
 		fwd:      append([]*Link(nil), fwd...),
 		rev:      append([]*Link(nil), rev...),
 	}
-	n.flows = append(n.flows, p)
+	n.register(p)
 	return p, nil
 }
 
-// Flows returns the number of attached flows.
+// ReattachFlowRoute re-registers a previously detached port with (possibly
+// new) routes. The port keeps its sender and receiver and reuses its route
+// slices' capacity, so respawning a flow through a warm port allocates
+// nothing; the receiver is reset so the new incarnation starts with fresh
+// cumulative-ack state regardless of what the previous one received. The
+// port may land in a different slot than it previously occupied.
+func (n *Network) ReattachFlowRoute(p *Port, fwd, rev []*Link, oneWay sim.Time) error {
+	if p == nil || p.net != n {
+		return fmt.Errorf("netsim: ReattachFlowRoute with a foreign or nil port")
+	}
+	if p.attached {
+		return fmt.Errorf("netsim: port for flow %d is still attached", p.flow)
+	}
+	if err := n.validateRoutes(fwd, rev, oneWay); err != nil {
+		return err
+	}
+	p.oneWay = oneWay
+	p.fwd = append(p.fwd[:0], fwd...)
+	p.rev = append(p.rev[:0], rev...)
+	p.receiver.Reset()
+	n.register(p)
+	return nil
+}
+
+// DetachFlow removes a flow from the network. Packets of the flow still in
+// flight keep draining through queues and links but fail the generation
+// check on delivery and are recycled; they can never reach a flow that later
+// reuses the slot. The port itself stays valid for ReattachFlowRoute.
+func (n *Network) DetachFlow(p *Port) error {
+	if p == nil || p.net != n || !p.attached {
+		return fmt.Errorf("netsim: DetachFlow on a port that is not attached here")
+	}
+	if p.flow >= len(n.flows) || n.flows[p.flow] != p {
+		return fmt.Errorf("netsim: DetachFlow port/slot mismatch for flow %d", p.flow)
+	}
+	n.flows[p.flow] = nil
+	n.freeSlots = append(n.freeSlots, p.flow)
+	p.attached = false
+	n.liveFlows--
+	return nil
+}
+
+// validateRoutes checks a flow's routes and access delay without allocating.
+func (n *Network) validateRoutes(fwd, rev []*Link, oneWay sim.Time) error {
+	if oneWay < 0 {
+		return fmt.Errorf("netsim: negative propagation delay")
+	}
+	if len(fwd) == 0 {
+		return fmt.Errorf("netsim: flow needs at least one forward link")
+	}
+	for _, route := range [2][]*Link{fwd, rev} {
+		for _, l := range route {
+			if l == nil {
+				return fmt.Errorf("netsim: route contains a nil link")
+			}
+			if n.byName[l.name] != l {
+				return fmt.Errorf("netsim: route link %q does not belong to this network", l.name)
+			}
+		}
+	}
+	return nil
+}
+
+// register places the port in a flow slot (reusing a freed one if available)
+// and stamps a fresh attachment generation.
+func (n *Network) register(p *Port) {
+	var slot int
+	if m := len(n.freeSlots); m > 0 {
+		slot = n.freeSlots[m-1]
+		n.freeSlots = n.freeSlots[:m-1]
+		n.flows[slot] = p
+	} else {
+		slot = len(n.flows)
+		n.flows = append(n.flows, p)
+	}
+	p.flow = slot
+	p.receiver.flow = slot
+	n.nextGen++
+	p.gen = n.nextGen
+	p.attached = true
+	n.liveFlows++
+}
+
+// Flows returns the number of flow slots ever created (attachment order
+// indexes into PortFor); detached slots count until they are reused.
 func (n *Network) Flows() int { return len(n.flows) }
+
+// LiveFlows returns the number of currently attached flows.
+func (n *Network) LiveFlows() int { return n.liveFlows }
 
 // PortFor returns the port of flow i (nil if out of range); tests and the
 // experiment harness use it to read per-flow counters.
@@ -314,8 +413,8 @@ func (n *Network) MinRTT(flow int) sim.Time {
 // the last hop — toward the flow's receiver (data) or sender (ack).
 func (n *Network) onLinkDelivered(l *Link, p *Packet, now sim.Time) {
 	port := n.PortFor(p.Flow)
-	if port == nil {
-		n.pool.put(p)
+	if port == nil || port.gen != p.gen {
+		n.pool.put(p) // stale packet of a detached flow
 		return
 	}
 	route := port.fwd
@@ -339,6 +438,10 @@ func (n *Network) onLinkDelivered(l *Link, p *Packet, now sim.Time) {
 func (n *Network) onHopArrived(t sim.Time, arg any) {
 	p := arg.(*Packet)
 	port := n.flows[p.Flow]
+	if port == nil || port.gen != p.gen {
+		n.pool.put(p) // stale packet of a detached flow
+		return
+	}
 	route := port.fwd
 	if p.isAck {
 		route = port.rev
@@ -364,6 +467,10 @@ func (n *Network) onHopArrived(t sim.Time, arg any) {
 func (n *Network) onPropagated(t sim.Time, arg any) {
 	p := arg.(*Packet)
 	port := n.flows[p.Flow]
+	if port == nil || port.gen != p.gen {
+		n.pool.put(p) // stale packet of a detached flow
+		return
+	}
 	ack := port.receiver.Receive(p, t)
 	if n.OnDeliver != nil {
 		n.OnDeliver(p, t)
@@ -373,7 +480,7 @@ func (n *Network) onPropagated(t sim.Time, arg any) {
 		// Return propagation of the acknowledgment (reverse path is
 		// uncongested, as in the paper's setup).
 		ac := n.getAckCarrier()
-		ac.port, ac.ack = port, ack
+		ac.port, ac.ack, ac.gen = port, ack, port.gen
 		n.engine.ScheduleArg(t+port.oneWay, n.ackApply, ac)
 		return
 	}
@@ -382,6 +489,7 @@ func (n *Network) onPropagated(t sim.Time, arg any) {
 	pa.Size = n.ackBytes
 	pa.isAck = true
 	pa.ack = ack
+	pa.gen = port.gen
 	pa.EnqueuedAt = t
 	l := port.rev[0]
 	if !l.queue.Enqueue(pa, t) {
@@ -396,10 +504,14 @@ func (n *Network) onPropagated(t sim.Time, arg any) {
 // reverse propagation delay.
 func (n *Network) onAckReturned(t sim.Time, arg any) {
 	ac := arg.(*ackCarrier)
-	port, ack := ac.port, ac.ack
+	port, ack, gen := ac.port, ac.ack, ac.gen
 	ac.port = nil
 	ac.ack = Ack{}
+	ac.gen = 0
 	n.ackFree = append(n.ackFree, ac)
+	if !port.attached || port.gen != gen {
+		return // flow detached while the ack was propagating
+	}
 	port.sender.OnAck(ack, t)
 }
 
@@ -408,6 +520,10 @@ func (n *Network) onAckReturned(t sim.Time, arg any) {
 func (n *Network) onAckPacketReturned(t sim.Time, arg any) {
 	p := arg.(*Packet)
 	port := n.flows[p.Flow]
+	if port == nil || port.gen != p.gen {
+		n.pool.put(p) // stale ack of a detached flow
+		return
+	}
 	ack := p.ack
 	n.pool.put(p)
 	port.sender.OnAck(ack, t)
@@ -448,10 +564,17 @@ func (p *Port) NewPacket() *Packet { return p.net.pool.get() }
 // The packet's Flow field is overwritten with the port's flow id. It returns
 // false if the first hop dropped the packet on arrival.
 func (p *Port) Send(pkt *Packet, now sim.Time) bool {
+	if !p.attached {
+		// A detached flow's sender must not inject traffic; recycle silently
+		// (transports are stopped before detachment, so this is a backstop).
+		p.net.pool.put(pkt)
+		return false
+	}
 	if pkt.Size <= 0 {
 		pkt.Size = p.net.mtu
 	}
 	pkt.Flow = p.flow
+	pkt.gen = p.gen
 	pkt.hop = 0
 	pkt.isAck = false
 	pkt.EnqueuedAt = now
@@ -469,8 +592,12 @@ func (p *Port) Send(pkt *Packet, now sim.Time) bool {
 	return true
 }
 
-// Flow returns the port's flow id.
+// Flow returns the port's flow id (its current slot; it may change across
+// detach/reattach cycles).
 func (p *Port) Flow() int { return p.flow }
+
+// Attached reports whether the port is currently attached to the network.
+func (p *Port) Attached() bool { return p.attached }
 
 // OneWayDelay returns the flow's access one-way propagation delay.
 func (p *Port) OneWayDelay() sim.Time { return p.oneWay }

@@ -68,10 +68,15 @@ type Packet struct {
 
 	// Route state, maintained by the Network: hop indexes the packet's
 	// position in its flow's route; isAck marks acknowledgment packets
-	// traversing a reverse route, carrying their Ack in ack.
+	// traversing a reverse route, carrying their Ack in ack; gen is the
+	// attachment generation of the flow that sent the packet, so packets
+	// still in flight when their flow detaches (and its slot is possibly
+	// reused by a later flow) are recognized as stale and recycled instead of
+	// being delivered to the wrong flow.
 	hop   int
 	isAck bool
 	ack   Ack
+	gen   uint64
 }
 
 // IsAck reports whether this packet is an acknowledgment traversing a

@@ -1,0 +1,77 @@
+// Package ring provides an allocation-amortized FIFO ring buffer. The
+// simulator's hot paths (AQM packet queues, sfqCoDel's active-bucket
+// rotation, the transport's retransmission queue) all need a FIFO whose
+// steady state allocates nothing; the naive slice idiom — append at the
+// tail, advance the head with q = q[1:] — permanently consumes backing
+// capacity and ends up reallocating roughly once per element. The Ring
+// grows by doubling up to the observed peak occupancy and then never
+// allocates again, and element order is exactly FIFO, so replacing a slice
+// queue with a Ring is behavior-preserving.
+package ring
+
+// Ring is a FIFO ring buffer. The buffer length is always a power of two so
+// positions wrap with a mask. The zero value is an empty, unallocated ring.
+// A Ring is not safe for concurrent use.
+type Ring[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.count }
+
+// Push appends v at the tail, growing the buffer if full.
+func (r *Ring[T]) Push(v T) {
+	if r.count == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.count)&(len(r.buf)-1)] = v
+	r.count++
+}
+
+// Pop removes and returns the head element. The vacated slot is zeroed so
+// pointer elements are not retained past their dequeue. Pop on an empty
+// ring panics (callers check Len first, as with a slice).
+func (r *Ring[T]) Pop() T {
+	if r.count == 0 {
+		panic("ring: Pop on empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.count--
+	return v
+}
+
+// Peek returns the head element without removing it. Peek on an empty ring
+// panics.
+func (r *Ring[T]) Peek() T {
+	if r.count == 0 {
+		panic("ring: Peek on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// Clear drops every element, zeroing the occupied slots so pointer elements
+// are released, and keeps the buffer for reuse.
+func (r *Ring[T]) Clear() {
+	var zero T
+	for i := 0; i < r.count; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = zero
+	}
+	r.head, r.count = 0, 0
+}
+
+func (r *Ring[T]) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]T, n)
+	for i := 0; i < r.count; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}

@@ -1,0 +1,101 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrderAcrossWraps(t *testing.T) {
+	var r Ring[int]
+	next, popped := 0, 0
+	// Interleave pushes and pops so the head walks around the buffer many
+	// times across several growths.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round%7+1; i++ {
+			r.Push(next)
+			next++
+		}
+		for r.Len() > round%3 {
+			if got := r.Peek(); got != popped {
+				t.Fatalf("Peek = %d, want %d", got, popped)
+			}
+			if got := r.Pop(); got != popped {
+				t.Fatalf("Pop = %d, want %d", got, popped)
+			}
+			popped++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != popped {
+			t.Fatalf("drain Pop = %d, want %d", got, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed", popped, next)
+	}
+}
+
+func TestPopZeroesSlot(t *testing.T) {
+	var r Ring[*int]
+	v := new(int)
+	r.Push(v)
+	if got := r.Pop(); got != v {
+		t.Fatal("wrong element")
+	}
+	// The vacated slot must not retain the pointer.
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("Pop retained a pointer in the buffer")
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	var r Ring[*int]
+	for i := 0; i < 5; i++ {
+		r.Push(new(int))
+	}
+	r.Pop() // move the head so Clear must handle a wrapped range
+	r.Clear()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", r.Len())
+	}
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("Clear retained a pointer")
+		}
+	}
+	r.Push(new(int))
+	if r.Len() != 1 {
+		t.Fatal("ring unusable after Clear")
+	}
+}
+
+func TestEmptyOpsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty ring did not panic")
+		}
+	}()
+	var r Ring[int]
+	r.Pop()
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 64; i++ {
+		r.Push(i) // warm to peak occupancy
+	}
+	for r.Len() > 0 {
+		r.Pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			r.Push(i)
+		}
+		for r.Len() > 0 {
+			r.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm push/pop cycle allocates %.1f objects, want 0", allocs)
+	}
+}

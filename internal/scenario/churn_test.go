@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func quickChurnFamily(load float64) Spec {
+	return FlowChurnSpec(FamilyConfig{
+		Scheme:          "newreno",
+		Workload:        ByBytesWorkload(ExponentialDist(100e3), ExponentialDist(0.5)),
+		DurationSeconds: 2,
+		Seed:            11,
+		Repetitions:     2,
+		OfferedLoad:     load,
+	})
+}
+
+func TestChurnSpecRoundTrip(t *testing.T) {
+	spec := quickChurnFamily(0.5)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("family spec invalid: %v", err)
+	}
+	b1, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b1, []byte(`"churn"`)) || !bytes.Contains(b1, []byte(`"interarrival"`)) {
+		t.Fatalf("churn section missing from JSON:\n%s", b1)
+	}
+	s2, err := Unmarshal(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("spec invalid after round trip: %v", err)
+	}
+	b2, err := s2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("churn spec encoding is not a fixed point\nfirst:  %s\nsecond: %s", b1, b2)
+	}
+	if s2.Churn == nil || len(s2.Churn.Classes) != 3 || s2.Churn.MaxLiveFlows != 512 {
+		t.Errorf("churn section lost in round trip: %+v", s2.Churn)
+	}
+	// The strict decoder accepts the canonical encoding too.
+	if _, err := UnmarshalStrict(b1); err != nil {
+		t.Errorf("strict decode rejected canonical encoding: %v", err)
+	}
+}
+
+func TestUnmarshalStrictRejectsUnknownKeys(t *testing.T) {
+	good := []byte(`{"link":{"rate_bps":1e6},"flows":[{"scheme":"newreno","rtt_ms":10,` +
+		`"workload":{"mode":"time","on":{"type":"constant","value":1},"off":{"type":"constant","value":1}}}],` +
+		`"duration_seconds":1}`)
+	if _, err := UnmarshalStrict(good); err != nil {
+		t.Fatalf("strict decode rejected a valid spec: %v", err)
+	}
+	typo := []byte(`{"link":{"rate_bps":1e6},"flows":[],"durations_seconds":5}`)
+	if _, err := UnmarshalStrict(typo); err == nil {
+		t.Error("strict decode accepted a typo'd key")
+	} else if !strings.Contains(err.Error(), "durations_seconds") {
+		t.Errorf("error does not name the unknown key: %v", err)
+	}
+	// The lenient decoder still ignores it.
+	if _, err := Unmarshal(typo); err != nil {
+		t.Errorf("lenient decode rejected unknown key: %v", err)
+	}
+	nested := []byte(`{"link":{"rate_pbs":1e6},"flows":[],"duration_seconds":5}`)
+	if _, err := UnmarshalStrict(nested); err == nil {
+		t.Error("strict decode accepted a typo'd nested key")
+	}
+	trailing := append(append([]byte{}, good...), []byte(` {"x":1}`)...)
+	if _, err := UnmarshalStrict(trailing); err == nil {
+		t.Error("strict decode accepted trailing data")
+	}
+}
+
+func TestChurnSpecValidation(t *testing.T) {
+	base := quickChurnFamily(0.5)
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"empty classes", func(s *Spec) { s.Churn.Classes = nil; s.Flows = nil }},
+		{"negative max live", func(s *Spec) { s.Churn.MaxLiveFlows = -1 }},
+		{"no scheme", func(s *Spec) { s.Churn.Classes[0].Scheme = "" }},
+		{"negative rtt", func(s *Spec) { s.Churn.Classes[0].RTTMs = -1 }},
+		{"negative max arrivals", func(s *Spec) { s.Churn.Classes[0].MaxArrivals = -1 }},
+		{"bad interarrival", func(s *Spec) { s.Churn.Classes[0].Interarrival = DistSpec{} }},
+		{"bad size", func(s *Spec) { s.Churn.Classes[0].Size = DistSpec{Type: "nope"} }},
+		{"unknown route link", func(s *Spec) { s.Churn.Classes[0].Path = []string{"hop9"} }},
+		{"no path with topology", func(s *Spec) { s.Churn.Classes[0].Path = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := quickChurnFamily(0.5)
+			tc.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid churn spec accepted")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+	// A single-bottleneck churn spec must not route over links...
+	flat := New(
+		WithName("flat-churn"),
+		WithLink(10e6),
+		WithDuration(1),
+		WithChurn(ChurnSpec{Classes: []ChurnClassSpec{{
+			Scheme: "newreno", RTTMs: 50,
+			Interarrival: ExponentialDist(0.1), Size: ConstantDist(2e4),
+			Path: []string{"hop1"},
+		}}}),
+	)
+	if err := flat.Validate(); err == nil {
+		t.Error("churn path without topology accepted")
+	}
+	// ... but is valid without paths, and without any static flows.
+	flat.Churn.Classes[0].Path = nil
+	if err := flat.Validate(); err != nil {
+		t.Errorf("churn-only single-bottleneck spec rejected: %v", err)
+	}
+}
+
+// TestChurnCompileAndRun executes the flow-churn family end to end through
+// the runner and checks worker-count invariance of the churn outcomes.
+func TestChurnCompileAndRun(t *testing.T) {
+	spec := quickChurnFamily(0.6)
+	one := Runner{Workers: 1}
+	many := Runner{Workers: 4}
+	r1, err := one.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := many.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 2 || len(r4) != 2 {
+		t.Fatalf("repetition counts: %d and %d, want 2", len(r1), len(r4))
+	}
+	for rep := range r1 {
+		if !reflect.DeepEqual(r1[rep].Res.Churn, r4[rep].Res.Churn) {
+			t.Errorf("rep %d churn results differ between 1 and 4 workers", rep)
+		}
+	}
+	var completed int64
+	for _, res := range r1 {
+		if got := len(res.Res.Churn); got != 3 {
+			t.Fatalf("churn class results = %d, want 3", got)
+		}
+		for _, c := range res.Res.Churn {
+			completed += c.Completed
+			if c.Spawned == 0 {
+				t.Errorf("class %d never spawned", c.Class)
+			}
+		}
+		if len(res.Res.Flows) != 1 {
+			t.Errorf("static flow results = %d, want 1", len(res.Res.Flows))
+		}
+	}
+	if completed == 0 {
+		t.Error("no churn flow completed across all repetitions")
+	}
+}
+
+// TestChurnImpliesQueueKind checks churn classes participate in implied
+// queue-kind resolution like static flows do.
+func TestChurnImpliesQueueKind(t *testing.T) {
+	s := New(
+		WithLink(10e6),
+		WithDuration(1),
+		WithChurn(ChurnSpec{Classes: []ChurnClassSpec{{
+			Scheme: "cubic/sfqcodel", RTTMs: 50,
+			Interarrival: ExponentialDist(0.1), Size: ConstantDist(2e4),
+		}}}),
+	)
+	kind, err := s.QueueKindFor(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != QueueSfqCoDel {
+		t.Errorf("implied queue kind %q, want %q", kind, QueueSfqCoDel)
+	}
+	// Conflicting implications across static and churn flows are an error.
+	s.Flows = []FlowSpec{{Scheme: "xcp", RTTMs: 50, Workload: ByTimeWorkload(ConstantDist(1), ConstantDist(1))}}
+	if _, err := s.QueueKindFor(Default()); err == nil {
+		t.Error("conflicting implied queue kinds accepted")
+	}
+}
+
+func TestChurnOfferedLoadScalesArrivals(t *testing.T) {
+	low := quickChurnFamily(0.25)
+	high := quickChurnFamily(1.0)
+	lo := low.Churn.Classes[0].Interarrival.Mean
+	hi := high.Churn.Classes[0].Interarrival.Mean
+	if !(hi < lo) {
+		t.Errorf("higher load should shorten interarrivals: %g vs %g", hi, lo)
+	}
+}

@@ -60,7 +60,12 @@ func (s Spec) QueueKindFor(reg *Registry) (string, error) {
 		return s.Queue.Kind, nil
 	}
 	kind := QueueDropTail
-	for _, f := range s.Flows {
+	flows := s.Flows
+	if s.Churn != nil {
+		// Churn classes imply queue kinds exactly like static flows do.
+		flows = append(append([]FlowSpec(nil), flows...), churnFlowSpecs(s.Churn.Classes)...)
+	}
+	for _, f := range flows {
 		// Programmatic flows bypass the registry entirely (mirroring
 		// Compile), so their Scheme is only a label and implies no queue.
 		if f.Scheme == "" || f.Algorithm != nil {
@@ -80,6 +85,17 @@ func (s Spec) QueueKindFor(reg *Registry) (string, error) {
 		kind = pk
 	}
 	return kind, nil
+}
+
+// churnFlowSpecs adapts churn classes to the FlowSpec shape used for
+// registry resolution (programmatic classes keep their Algorithm so they are
+// skipped the same way programmatic flows are).
+func churnFlowSpecs(classes []ChurnClassSpec) []FlowSpec {
+	out := make([]FlowSpec, len(classes))
+	for i, c := range classes {
+		out[i] = FlowSpec{Scheme: c.Scheme, RemyCC: c.RemyCC, RateBps: c.RateBps, Algorithm: c.Algorithm}
+	}
+	return out
 }
 
 // Compile resolves the spec's names against the registry and materializes the
@@ -105,6 +121,9 @@ func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
 			return harness.Scenario{}, 0, err
 		}
 		if err := s.compileFlows(reg, &out); err != nil {
+			return harness.Scenario{}, 0, err
+		}
+		if err := s.compileChurn(reg, &out); err != nil {
 			return harness.Scenario{}, 0, err
 		}
 		out.OnDeliver = s.OnDeliver
@@ -142,6 +161,9 @@ func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
 	}
 
 	if err := s.compileFlows(reg, &out); err != nil {
+		return harness.Scenario{}, 0, err
+	}
+	if err := s.compileChurn(reg, &out); err != nil {
 		return harness.Scenario{}, 0, err
 	}
 	out.OnDeliver = s.OnDeliver

@@ -20,6 +20,10 @@ type FamilyConfig struct {
 	DurationSeconds float64
 	Seed            int64
 	Repetitions     int
+	// OfferedLoad scales the flow-churn family's arrival rates as a fraction
+	// of each class's bottleneck capacity, evaluated at the size
+	// distribution's median (0 means 0.5). Ignored by the other families.
+	OfferedLoad float64
 }
 
 func (c FamilyConfig) flow(count int, rttMs float64, path, reverse []string) FlowSpec {
@@ -112,6 +116,64 @@ func AsymmetricReverseSpec(c FamilyConfig) Spec {
 		WithSeed(c.Seed),
 		WithRepetitions(c.Repetitions),
 		WithFlow(c.flow(2, 100, []string{"fwd"}, []string{"rev"})),
+	)
+}
+
+// churnMedianBytes is the median of the flow-churn family's size
+// distribution, ICSIDist(16e3): the Pareto(147, 0.5) median is
+// 147·2^(1/0.5) = 588 bytes, shifted by 40 + 16000. Arrival rates are
+// derived from it — the ICSI fit's mean is infinite (α ≤ 1), so "offered
+// load" for this family is defined at the median flow size, matching how
+// heavy-tailed trace workloads are usually parameterized.
+const churnMedianBytes = 40 + 16000 + 588
+
+// FlowChurnSpec is the dynamic-workload family: the parking-lot topology
+// under churning load. One static long-running flow crosses both hops while
+// three Poisson churn classes — end-to-end, hop1-only and hop2-only — spawn
+// ICSI-Pareto-sized transfers, complete them, and depart. The per-class
+// arrival rate targets c.OfferedLoad of the class's narrowest hop (at the
+// median flow size), split evenly between the two classes sharing each hop,
+// and the live population is capped at 512 flows.
+func FlowChurnSpec(c FamilyConfig) Spec {
+	load := c.OfferedLoad
+	if load <= 0 {
+		load = 0.5
+	}
+	const hop1Bps, hop2Bps = 10e6, 6e6
+	size := ICSIDist(16e3)
+	class := func(path []string, shareBps float64) ChurnClassSpec {
+		rate := load * shareBps / (8 * churnMedianBytes)
+		return ChurnClassSpec{
+			Scheme:       c.Scheme,
+			RemyCC:       c.RemyCC,
+			RTTMs:        40,
+			Interarrival: ExponentialDist(1 / rate),
+			Size:         size,
+			Path:         path,
+		}
+	}
+	return New(
+		WithName("flowchurn-"+c.Scheme),
+		WithDescription("Flow churn: parking-lot topology under Poisson arrivals of ICSI-Pareto-sized transfers (end-to-end, hop1 and hop2 classes) alongside one static long flow; reports flow completion times."),
+		WithTopology(TopologySpec{
+			Nodes: []NodeSpec{{Name: "src"}, {Name: "mid"}, {Name: "dst"}},
+			Links: []TopoLinkSpec{
+				{Name: "hop1", From: "src", To: "mid", RateBps: hop1Bps, DelayMs: 10},
+				{Name: "hop2", From: "mid", To: "dst", RateBps: hop2Bps, DelayMs: 10},
+			},
+		}),
+		WithDuration(c.DurationSeconds),
+		WithSeed(c.Seed),
+		WithRepetitions(c.Repetitions),
+		WithFlow(c.flow(1, 40, []string{"hop1", "hop2"}, nil)),
+		WithChurn(ChurnSpec{
+			MaxLiveFlows: 512,
+			Classes: []ChurnClassSpec{
+				class([]string{"hop1", "hop2"}, hop2Bps/2),
+				class([]string{"hop1"}, hop1Bps/2),
+				class([]string{"hop2"}, hop2Bps/2),
+			},
+		}),
 	)
 }
 

@@ -46,6 +46,24 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		`"flows":[{"scheme":"cbr","rate_bps":1e6,"rtt_ms":100,"path":["fwd"],"reverse_path":["rev"],` +
 		`"workload":{"mode":"bytes","on":{"type":"exponential","mean":1e5},"off":{"type":"exponential","mean":0.5}}}],` +
 		`"duration_seconds":1}`))
+	// Churn corpus: a topology spec whose load arrives via a churn section
+	// (Poisson interarrivals, Pareto sizes, capped population), so the fuzzer
+	// mutates the churn structure alongside nodes/links/routes.
+	f.Add([]byte(`{"topology":{"nodes":[{"name":"a"},{"name":"b"},{"name":"c"}],` +
+		`"links":[{"name":"h1","from":"a","to":"b","rate_bps":1e7,"delay_ms":10},` +
+		`{"name":"h2","from":"b","to":"c","rate_bps":6e6,"delay_ms":10}]},` +
+		`"flows":[{"scheme":"cubic","rtt_ms":40,"path":["h1","h2"],` +
+		`"workload":{"mode":"bytes","on":{"type":"exponential","mean":1e5},"off":{"type":"exponential","mean":0.5}}}],` +
+		`"churn":{"max_live_flows":64,"classes":[` +
+		`{"scheme":"newreno","rtt_ms":40,"path":["h1","h2"],"max_arrivals":100,` +
+		`"interarrival":{"type":"exponential","mean":0.1},"size":{"type":"pareto","xm":147,"alpha":0.5,"shift":16040}},` +
+		`{"scheme":"newreno","rtt_ms":40,"path":["h2"],` +
+		`"interarrival":{"type":"constant","value":0.2},"size":{"type":"exponential","mean":2e4}}]},` +
+		`"duration_seconds":1}`))
+	// A churn-only spec (no static flows).
+	f.Add([]byte(`{"link":{"rate_bps":1e7},"churn":{"classes":[{"scheme":"newreno","rtt_ms":50,` +
+		`"interarrival":{"type":"exponential","mean":0.05},"size":{"type":"constant","value":2e4}}]},` +
+		`"duration_seconds":1}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Unmarshal(data)

@@ -17,8 +17,10 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cc"
@@ -111,6 +113,10 @@ type Spec struct {
 	Topology *TopologySpec `json:"topology,omitempty"`
 	// Flows lists the senders.
 	Flows []FlowSpec `json:"flows"`
+	// Churn, when set, adds dynamically arriving flow classes: each class
+	// spawns a flow per arrival and retires it on completion, reporting flow
+	// completion times. A spec needs static Flows, a Churn section, or both.
+	Churn *ChurnSpec `json:"churn,omitempty"`
 	// DurationSeconds is the simulated length of each repetition.
 	DurationSeconds float64 `json:"duration_seconds"`
 	// Seed is the base random seed; repetition seeds derive from it.
@@ -164,8 +170,13 @@ func (s Spec) NumFlows() int {
 // Validate reports structural errors that do not require a registry (name
 // resolution happens at compile time).
 func (s Spec) Validate() error {
-	if len(s.Flows) == 0 {
+	if len(s.Flows) == 0 && (s.Churn == nil || len(s.Churn.Classes) == 0) {
 		return fmt.Errorf("scenario: spec %q has no flows", s.Name)
+	}
+	if s.Churn != nil {
+		if err := s.Churn.validate(s.Name); err != nil {
+			return err
+		}
 	}
 	if s.DurationSeconds <= 0 {
 		return fmt.Errorf("scenario: spec %q needs a positive duration", s.Name)
@@ -183,6 +194,11 @@ func (s Spec) Validate() error {
 		if err := s.Topology.validateFlowRoutes(s.Name, s.Flows); err != nil {
 			return err
 		}
+		if s.Churn != nil {
+			if err := s.Topology.validateChurnRoutes(s.Name, s.Churn.Classes); err != nil {
+				return err
+			}
+		}
 	} else {
 		fixed := s.Link.Model == "" || s.Link.Model == "fixed"
 		if fixed && len(s.Link.Trace) == 0 && s.Link.RateBps <= 0 {
@@ -191,6 +207,13 @@ func (s Spec) Validate() error {
 		for i, f := range s.Flows {
 			if len(f.Path) > 0 || len(f.ReversePath) > 0 {
 				return fmt.Errorf("scenario: spec %q flow %d routes over links but the spec has no topology", s.Name, i)
+			}
+		}
+		if s.Churn != nil {
+			for ci, c := range s.Churn.Classes {
+				if len(c.Path) > 0 || len(c.ReversePath) > 0 {
+					return fmt.Errorf("scenario: spec %q churn class %d routes over links but the spec has no topology", s.Name, ci)
+				}
 			}
 		}
 	}
@@ -216,7 +239,8 @@ func (s Spec) Marshal() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// Unmarshal decodes a spec from JSON.
+// Unmarshal decodes a spec from JSON. Unknown keys are ignored (the lenient
+// form, for forward compatibility); use UnmarshalStrict to reject them.
 func Unmarshal(data []byte) (Spec, error) {
 	var s Spec
 	if err := json.Unmarshal(data, &s); err != nil {
@@ -225,13 +249,39 @@ func Unmarshal(data []byte) (Spec, error) {
 	return s, nil
 }
 
-// ReadFile loads one spec from a JSON file.
+// UnmarshalStrict decodes a spec from JSON, rejecting unknown keys, so a
+// typo'd field name ("durations_seconds") fails loudly instead of silently
+// leaving the default in place. Interactive consumers of hand-written spec
+// files (cmd/simulate) use this form.
+func UnmarshalStrict(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: decoding spec: trailing data after the JSON document")
+	}
+	return s, nil
+}
+
+// ReadFile loads one spec from a JSON file (lenient decoding).
 func ReadFile(path string) (Spec, error) {
+	return readFileWith(path, Unmarshal)
+}
+
+// ReadFileStrict loads one spec from a JSON file, rejecting unknown keys.
+func ReadFileStrict(path string) (Spec, error) {
+	return readFileWith(path, UnmarshalStrict)
+}
+
+func readFileWith(path string, decode func([]byte) (Spec, error)) (Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Spec{}, fmt.Errorf("scenario: %w", err)
 	}
-	s, err := Unmarshal(data)
+	s, err := decode(data)
 	if err != nil {
 		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
 	}

@@ -114,22 +114,23 @@ func (t *TopologySpec) Validate(specName string) error {
 
 // validateRoute checks that a route is connected (each link starts where the
 // previous one ended) and acyclic (no node is visited twice). It returns the
-// route's endpoints.
-func (t *TopologySpec) validateRoute(specName string, flow int, kind string, route []string) (from, to string, err error) {
+// route's endpoints. owner names the route's owner for error messages
+// ("flow 3", "churn class 1").
+func (t *TopologySpec) validateRoute(specName, owner, kind string, route []string) (from, to string, err error) {
 	visited := make(map[string]bool, len(route)+1)
 	for i, name := range route {
 		l, ok := t.Link(name)
 		if !ok {
-			return "", "", fmt.Errorf("scenario: spec %q flow %d %s references unknown link %q", specName, flow, kind, name)
+			return "", "", fmt.Errorf("scenario: spec %q %s %s references unknown link %q", specName, owner, kind, name)
 		}
 		if i == 0 {
 			from = l.From
 			visited[l.From] = true
 		} else if l.From != to {
-			return "", "", fmt.Errorf("scenario: spec %q flow %d %s is disconnected: link %q starts at %q, previous hop ended at %q", specName, flow, kind, name, l.From, to)
+			return "", "", fmt.Errorf("scenario: spec %q %s %s is disconnected: link %q starts at %q, previous hop ended at %q", specName, owner, kind, name, l.From, to)
 		}
 		if visited[l.To] {
-			return "", "", fmt.Errorf("scenario: spec %q flow %d %s has a cycle: node %q visited twice", specName, flow, kind, l.To)
+			return "", "", fmt.Errorf("scenario: spec %q %s %s has a cycle: node %q visited twice", specName, owner, kind, l.To)
 		}
 		visited[l.To] = true
 		to = l.To
@@ -143,23 +144,44 @@ func (t *TopologySpec) validateRoute(specName string, flow int, kind string, rou
 // the forward path's destination back to its source.
 func (t *TopologySpec) validateFlowRoutes(specName string, flows []FlowSpec) error {
 	for i, f := range flows {
-		if len(f.Path) == 0 {
-			return fmt.Errorf("scenario: spec %q flow %d has no path through the topology", specName, i)
-		}
-		src, dst, err := t.validateRoute(specName, i, "path", f.Path)
-		if err != nil {
+		if err := t.validatePathPair(specName, fmt.Sprintf("flow %d", i), f.Path, f.ReversePath); err != nil {
 			return err
 		}
-		if len(f.ReversePath) == 0 {
-			continue
-		}
-		rsrc, rdst, err := t.validateRoute(specName, i, "reverse path", f.ReversePath)
-		if err != nil {
+	}
+	return nil
+}
+
+// validateChurnRoutes applies the same route rules to churn classes.
+func (t *TopologySpec) validateChurnRoutes(specName string, classes []ChurnClassSpec) error {
+	for ci, c := range classes {
+		if err := t.validatePathPair(specName, fmt.Sprintf("churn class %d", ci), c.Path, c.ReversePath); err != nil {
 			return err
 		}
-		if rsrc != dst || rdst != src {
-			return fmt.Errorf("scenario: spec %q flow %d reverse path runs %s→%s, want %s→%s", specName, i, rsrc, rdst, dst, src)
-		}
+	}
+	return nil
+}
+
+// validatePathPair checks one (path, reverse path) pair for a named route
+// owner: the path is required, both routes must be connected and acyclic,
+// and the reverse path must run from the path's destination back to its
+// source.
+func (t *TopologySpec) validatePathPair(specName, owner string, path, reverse []string) error {
+	if len(path) == 0 {
+		return fmt.Errorf("scenario: spec %q %s has no path through the topology", specName, owner)
+	}
+	src, dst, err := t.validateRoute(specName, owner, "path", path)
+	if err != nil {
+		return err
+	}
+	if len(reverse) == 0 {
+		return nil
+	}
+	rsrc, rdst, err := t.validateRoute(specName, owner, "reverse path", reverse)
+	if err != nil {
+		return err
+	}
+	if rsrc != dst || rdst != src {
+		return fmt.Errorf("scenario: spec %q %s reverse path runs %s→%s, want %s→%s", specName, owner, rsrc, rdst, dst, src)
 	}
 	return nil
 }

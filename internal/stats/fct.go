@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file provides streaming aggregation of flow completion times (FCTs).
+// A churn scenario completes hundreds of thousands of flows per run, so
+// retaining every sample for an exact quantile would turn the metric itself
+// into the memory hot spot. The aggregator instead keeps O(1) state per
+// tracked quantile using the P² algorithm (Jain & Chlamtac, CACM 1985):
+// five markers per quantile, adjusted with a piecewise-parabolic update as
+// observations stream in. Estimates are exact for the first five samples and
+// converge to the true quantile after; the aggregator is deterministic for a
+// given observation order, which keeps churn golden runs worker-count
+// invariant (each run observes its own completions in simulation order).
+
+// P2Quantile estimates a single quantile of a stream without retaining the
+// samples, using the P² algorithm's five-marker invariant.
+type P2Quantile struct {
+	p float64
+	// q holds the marker heights (estimates of the quantile curve), n the
+	// integer marker positions, and np/dn the desired positions and their
+	// per-observation increments.
+	q  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+	// count is the number of observations so far; the first five are stored
+	// directly in q and sorted on the fifth.
+	count int64
+}
+
+// NewP2Quantile returns an estimator for the p-th quantile (0 < p < 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	q := &P2Quantile{}
+	q.Init(p)
+	return q
+}
+
+// Init (re)initializes the estimator in place for the p-th quantile; it is
+// the allocation-free form of NewP2Quantile, for estimators embedded in a
+// pooled aggregator.
+func (e *P2Quantile) Init(p float64) {
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	*e = P2Quantile{p: p}
+	e.np = [5]float64{0, 2 * p, 4 * p, 2 + 2*p, 4}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// Count returns the number of observations so far.
+func (e *P2Quantile) Count() int64 { return e.count }
+
+// Observe folds one sample into the estimate.
+func (e *P2Quantile) Observe(x float64) {
+	if e.count < 5 {
+		e.q[e.count] = x
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.q[:])
+			e.n = [5]float64{0, 1, 2, 3, 4}
+			// Desired positions start at their five-sample values.
+			e.np = [5]float64{0, 2 * e.p, 4 * e.p, 2 + 2*e.p, 4}
+		}
+		return
+	}
+	e.count++
+
+	// Find the cell the observation falls in and update the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4] = x
+		k = 3
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			qp := e.parabolic(i, sign)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.n[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker-height update.
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback marker update when the parabolic one would break
+// marker monotonicity.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Value returns the current quantile estimate. With five or fewer samples the
+// estimate is the exact sample quantile.
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		var buf [5]float64
+		s := buf[:e.count]
+		copy(s, e.q[:e.count])
+		sort.Float64s(s)
+		return quantileSorted(s, e.p)
+	}
+	return e.q[2]
+}
+
+// FCTSummary is the point-in-time view of a streaming FCT aggregate. Times
+// are in seconds; quantiles above the count are P² estimates.
+type FCTSummary struct {
+	Count int64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+func (s FCTSummary) String() string {
+	if s.Count == 0 {
+		return "no completions"
+	}
+	return fmt.Sprintf("n=%d mean=%.4gs p50=%.4gs p95=%.4gs p99=%.4gs [%.4gs, %.4gs]",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
+}
+
+// FCTAggregator accumulates flow completion times in O(1) space: exact
+// count/mean/min/max plus streaming p50/p95/p99. The zero value is not ready
+// to use; call Reset (or NewFCTAggregator) first. Observing allocates
+// nothing, so the aggregator can sit on the simulation hot path.
+type FCTAggregator struct {
+	count         int64
+	sum, min, max float64
+	p50, p95, p99 P2Quantile
+}
+
+// NewFCTAggregator returns an empty aggregator tracking p50, p95 and p99.
+func NewFCTAggregator() *FCTAggregator {
+	a := &FCTAggregator{}
+	a.Reset()
+	return a
+}
+
+// Reset empties the aggregator in place.
+func (a *FCTAggregator) Reset() {
+	a.count = 0
+	a.sum, a.min, a.max = 0, 0, 0
+	a.p50.Init(0.50)
+	a.p95.Init(0.95)
+	a.p99.Init(0.99)
+}
+
+// Observe folds one completion time (in seconds) into the aggregate.
+func (a *FCTAggregator) Observe(seconds float64) {
+	if a.count == 0 || seconds < a.min {
+		a.min = seconds
+	}
+	if seconds > a.max {
+		a.max = seconds
+	}
+	a.count++
+	a.sum += seconds
+	a.p50.Observe(seconds)
+	a.p95.Observe(seconds)
+	a.p99.Observe(seconds)
+}
+
+// Count returns the number of observations so far.
+func (a *FCTAggregator) Count() int64 { return a.count }
+
+// Summary returns the current aggregate view.
+func (a *FCTAggregator) Summary() FCTSummary {
+	s := FCTSummary{Count: a.count, Min: a.min, Max: a.max}
+	if a.count > 0 {
+		s.Mean = a.sum / float64(a.count)
+		s.P50 = a.p50.Value()
+		s.P95 = a.p95.Value()
+		s.P99 = a.p99.Value()
+	}
+	return s
+}

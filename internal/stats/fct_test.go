@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil, 0.5) = %g, want 0", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %g, want 0", got)
+	}
+	single := []float64{42}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Quantile(single, q); got != 42 {
+			t.Errorf("Quantile([42], %g) = %g, want 42", q, got)
+		}
+	}
+	if got := Median(single); got != 42 {
+		t.Errorf("Median([42]) = %g, want 42", got)
+	}
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Quantile(q=0) = %g, want min 1", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Errorf("Quantile(q=1) = %g, want max 9", got)
+	}
+	// Out-of-range q clamps to the extremes rather than panicking.
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("Quantile(q=-0.5) = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1.5); got != 9 {
+		t.Errorf("Quantile(q=1.5) = %g, want 9", got)
+	}
+	// Quantile must not reorder its input.
+	if xs[0] != 3 || xs[7] != 6 {
+		t.Error("Quantile mutated its input slice")
+	}
+	// Interpolation between order statistics: median of {1,2,3,4} is 2.5.
+	if got := Median([]float64{4, 2, 1, 3}); got != 2.5 {
+		t.Errorf("Median([1..4]) = %g, want 2.5", got)
+	}
+}
+
+func TestP2QuantileExactForSmallSamples(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if got := e.Value(); got != 0 {
+		t.Errorf("empty estimator Value = %g, want 0", got)
+	}
+	e.Observe(7)
+	if got := e.Value(); got != 7 {
+		t.Errorf("single-sample median = %g, want 7", got)
+	}
+	e.Observe(1)
+	e.Observe(5)
+	// With {7,1,5} the exact interpolated median is 5.
+	if got, want := e.Value(), 5.0; got != want {
+		t.Errorf("three-sample median = %g, want %g", got, want)
+	}
+}
+
+// TestP2QuantileConvergence streams samples from known distributions and
+// compares the P² estimate against the exact quantile of the same samples.
+func TestP2QuantileConvergence(t *testing.T) {
+	rng := sim.NewRNG(11)
+	cases := []struct {
+		name string
+		p    float64
+		draw func() float64
+		tol  float64 // relative tolerance vs the exact sample quantile
+	}{
+		{"uniform-p50", 0.50, func() float64 { return rng.Uniform(0, 1) }, 0.05},
+		{"uniform-p95", 0.95, func() float64 { return rng.Uniform(0, 1) }, 0.05},
+		{"exponential-p95", 0.95, func() float64 { return rng.Exponential(2) }, 0.10},
+		{"exponential-p99", 0.99, func() float64 { return rng.Exponential(2) }, 0.15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewP2Quantile(tc.p)
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := tc.draw()
+				e.Observe(x)
+				samples = append(samples, x)
+			}
+			exact := Quantile(samples, tc.p)
+			got := e.Value()
+			if math.Abs(got-exact)/exact > tc.tol {
+				t.Errorf("P² %s estimate %g vs exact %g (tol %g)", tc.name, got, exact, tc.tol)
+			}
+		})
+	}
+}
+
+// TestFCTAggregatorVsExact replays a recorded sample stream through the
+// streaming aggregator and checks every summary field against the exact
+// values computed by retaining the samples.
+func TestFCTAggregatorVsExact(t *testing.T) {
+	rng := sim.NewRNG(5)
+	a := NewFCTAggregator()
+	var samples []float64
+	for i := 0; i < 50000; i++ {
+		// Heavy-ish tail, like real FCTs: mostly short with occasional
+		// order-of-magnitude stragglers.
+		x := rng.Exponential(0.2)
+		if rng.Float64() < 0.02 {
+			x += rng.Exponential(3)
+		}
+		a.Observe(x)
+		samples = append(samples, x)
+	}
+	s := a.Summary()
+	if s.Count != int64(len(samples)) {
+		t.Fatalf("count %d, want %d", s.Count, len(samples))
+	}
+	if got, want := s.Mean, Mean(samples); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("mean %g, want %g (exact)", got, want)
+	}
+	minExact, maxExact := Quantile(samples, 0), Quantile(samples, 1)
+	if s.Min != minExact || s.Max != maxExact {
+		t.Errorf("min/max %g/%g, want exact %g/%g", s.Min, s.Max, minExact, maxExact)
+	}
+	for _, q := range []struct {
+		name string
+		got  float64
+		p    float64
+		tol  float64
+	}{
+		{"p50", s.P50, 0.50, 0.05},
+		{"p95", s.P95, 0.95, 0.10},
+		{"p99", s.P99, 0.99, 0.15},
+	} {
+		exact := Quantile(samples, q.p)
+		if math.Abs(q.got-exact)/exact > q.tol {
+			t.Errorf("%s estimate %g vs exact %g (tol %g)", q.name, q.got, exact, q.tol)
+		}
+	}
+}
+
+func TestFCTAggregatorEmptyAndReset(t *testing.T) {
+	a := NewFCTAggregator()
+	s := a.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Errorf("empty aggregator summary not zero: %+v", s)
+	}
+	if s.String() != "no completions" {
+		t.Errorf("empty summary string = %q", s.String())
+	}
+	a.Observe(1)
+	a.Observe(2)
+	a.Reset()
+	if got := a.Summary(); got.Count != 0 || got.Max != 0 {
+		t.Errorf("Reset did not clear the aggregator: %+v", got)
+	}
+	a.Observe(3)
+	if got := a.Summary(); got.Count != 1 || got.Mean != 3 || got.Min != 3 || got.P50 != 3 {
+		t.Errorf("post-Reset observation wrong: %+v", got)
+	}
+}
+
+// TestFCTAggregatorObserveAllocs pins the hot-path contract: folding a
+// completion into the aggregate allocates nothing.
+func TestFCTAggregatorObserveAllocs(t *testing.T) {
+	a := NewFCTAggregator()
+	rng := sim.NewRNG(9)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Exponential(1)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.Observe(xs[i%len(xs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestArrivalSpecValidate(t *testing.T) {
+	ok := ArrivalSpec{Interarrival: Constant{Value: 1}, Size: Constant{Value: 100}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []ArrivalSpec{
+		{Size: Constant{Value: 100}},
+		{Interarrival: Constant{Value: 1}},
+		{Interarrival: Constant{Value: 1}, Size: Constant{Value: 100}, MaxArrivals: -1},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestDeterministicArrivalTrain(t *testing.T) {
+	engine := sim.NewEngine()
+	spec := ArrivalSpec{Interarrival: Constant{Value: 0.5}, Size: Constant{Value: 1000}}
+	a, err := NewArrivalProcess(spec, engine, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []sim.Time
+	var sizes []int64
+	a.OnArrival = func(now sim.Time, bytes int64) {
+		times = append(times, now)
+		sizes = append(sizes, bytes)
+	}
+	a.Start(0)
+	engine.Run(sim.FromSeconds(2.4))
+
+	want := []sim.Time{sim.FromSeconds(0.5), sim.FromSeconds(1.0), sim.FromSeconds(1.5), sim.FromSeconds(2.0)}
+	if len(times) != len(want) {
+		t.Fatalf("got %d arrivals (%v), want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("arrival %d at %v, want %v", i, times[i], want[i])
+		}
+		if sizes[i] != 1000 {
+			t.Errorf("arrival %d size %d, want 1000", i, sizes[i])
+		}
+	}
+	if a.Arrivals() != int64(len(want)) {
+		t.Errorf("Arrivals() = %d, want %d", a.Arrivals(), len(want))
+	}
+}
+
+func TestMaxArrivalsStopsProcess(t *testing.T) {
+	engine := sim.NewEngine()
+	spec := ArrivalSpec{Interarrival: Constant{Value: 0.1}, Size: Constant{Value: 1}, MaxArrivals: 3}
+	a, err := NewArrivalProcess(spec, engine, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	a.OnArrival = func(sim.Time, int64) { count++ }
+	a.Start(0)
+	engine.Run(sim.FromSeconds(10))
+	if count != 3 {
+		t.Fatalf("got %d arrivals, want 3 (MaxArrivals)", count)
+	}
+}
+
+// TestPoissonArrivalRate checks that the empirical arrival rate of a Poisson
+// process over a long horizon is close to the configured rate, and that two
+// processes with the same seed replay identically.
+func TestPoissonArrivalRate(t *testing.T) {
+	const rate = 50.0 // arrivals per second
+	const horizon = 200.0
+	run := func(seed int64) (int64, []sim.Time) {
+		engine := sim.NewEngine()
+		a, err := NewArrivalProcess(PoissonArrivals(rate, Constant{Value: 1e4}), engine, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var times []sim.Time
+		a.OnArrival = func(now sim.Time, _ int64) { times = append(times, now) }
+		a.Start(0)
+		engine.Run(sim.FromSeconds(horizon))
+		return a.Arrivals(), times
+	}
+	n1, t1 := run(7)
+	n2, t2 := run(7)
+	if n1 != n2 || len(t1) != len(t2) {
+		t.Fatalf("same seed produced different arrival counts: %d vs %d", n1, n2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+	got := float64(n1) / horizon
+	if math.Abs(got-rate)/rate > 0.1 {
+		t.Errorf("empirical rate %.2f/s too far from %.2f/s", got, rate)
+	}
+}
+
+// TestArrivalSizesFollowDistribution samples flow sizes through the process
+// and checks the mean against the distribution's (finite) mean.
+func TestArrivalSizesFollowDistribution(t *testing.T) {
+	engine := sim.NewEngine()
+	spec := ArrivalSpec{
+		Interarrival: Exponential{MeanValue: 0.01},
+		Size:         Exponential{MeanValue: 5e4},
+	}
+	a, err := NewArrivalProcess(spec, engine, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, n float64
+	a.OnArrival = func(_ sim.Time, bytes int64) { sum += float64(bytes); n++ }
+	a.Start(0)
+	engine.Run(sim.FromSeconds(100))
+	if n < 1000 {
+		t.Fatalf("only %v arrivals; expected thousands", n)
+	}
+	mean := sum / n
+	if math.Abs(mean-5e4)/5e4 > 0.1 {
+		t.Errorf("mean size %.0f too far from 50000", mean)
+	}
+}
