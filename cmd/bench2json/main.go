@@ -3,15 +3,23 @@
 // (CI publishes the optimizer training benchmarks as BENCH_optimizer.json).
 //
 //	go test ./internal/optimizer -run xxx -bench . -benchmem | bench2json
+//	go test ./internal/optimizer -run xxx -bench . -benchmem | bench2json -csv
+//
+// With -csv, the output is a flat table (one row per benchmark × metric)
+// with locale-safe float formatting instead of JSON.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Benchmark is one result line: the benchmark name, its iteration count,
@@ -54,7 +62,31 @@ func parseBench(line string) (Benchmark, bool) {
 	return b, len(b.Metrics) > 0
 }
 
+// writeCSV renders the run as a flat table: one row per benchmark × metric.
+// Metric keys sort within each benchmark so the output is deterministic.
+func writeCSV(out Output) error {
+	w := stats.NewCSVWriter(os.Stdout)
+	if err := w.Row("name", "iterations", "unit", "value"); err != nil {
+		return err
+	}
+	for _, b := range out.Benchmarks {
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			if err := w.Row(b.Name, b.Iterations, u, b.Metrics[u]); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
 func main() {
+	csvOut := flag.Bool("csv", false, "emit a flat CSV table instead of JSON")
+	flag.Parse()
 	out := Output{Context: make(map[string]string)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -77,6 +109,13 @@ func main() {
 	if len(out.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *csvOut {
+		if err := writeCSV(out); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

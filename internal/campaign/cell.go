@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Coord is one cell coordinate: an axis name and the canonical string form
+// of its value (floats in shortest round-trip notation).
+type Coord struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// Cell identifies one point of the campaign grid (or one explicit spec). It
+// carries everything needed to reproduce the cell standalone — the stable ID,
+// the derived seed, the coordinates — but NOT the materialized scenario.Spec:
+// cells are expanded lazily via Spec(), so enumerating a million-cell grid
+// costs a million small structs, never a million compiled scenarios at once.
+type Cell struct {
+	// Index is the cell's position in canonical order: grid cells row-major
+	// (first axis slowest), then explicit specs.
+	Index int `json:"index"`
+	// ID is the stable identity derived from the coordinates, e.g.
+	// "family=flowchurn/scheme=cubic/offered_load=0.5". Explicit specs use
+	// "spec[i]=<name>". IDs survive axis reordering of *values* never, but
+	// adding cells to the end of an axis or appending specs keeps existing
+	// IDs (and therefore seeds and results) stable.
+	ID string `json:"id"`
+	// Family is the scenario family grid cells instantiate ("" for explicit
+	// specs).
+	Family string `json:"family,omitempty"`
+	// Scheme is the cell's protocol ("" when an explicit spec mixes schemes).
+	Scheme string `json:"scheme,omitempty"`
+	// Coords lists the grid coordinates in ID order (nil for explicit specs).
+	Coords []Coord `json:"coords,omitempty"`
+	// Seed is the cell's derived base seed; repetition seeds derive from it
+	// through scenario.DeriveSeed exactly as for any standalone spec.
+	Seed int64 `json:"seed"`
+
+	sweep *SweepSpec
+	spec  int // explicit-spec index, -1 for grid cells
+}
+
+// splitmix64 is the SplitMix64 output function (same mixer scenario uses for
+// repetition seeds), reproduced here so cell-seed derivation is self-
+// contained and stable even if scenario's internals move.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveCellSeed returns the base seed for a cell: the campaign seed mixed
+// with an FNV-1a hash of the cell's stable ID. Deriving from the ID rather
+// than the index means a cell's seed — and hence its results — do not change
+// when axes grow or explicit specs are appended elsewhere in the sweep, and
+// any cell can be re-run standalone from its manifest line alone.
+func DeriveCellSeed(base int64, cellID string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(cellID))
+	return int64(splitmix64(splitmix64(uint64(base)) ^ h.Sum64()))
+}
+
+// Cell returns the i-th cell's metadata (grid cells first, row-major, then
+// explicit specs). It never materializes the scenario spec; call Cell.Spec
+// for that.
+func (s *SweepSpec) Cell(i int) (Cell, error) {
+	grid := s.gridCells()
+	if i < 0 || i >= s.NumCells() {
+		return Cell{}, fmt.Errorf("campaign: cell index %d out of range [0,%d)", i, s.NumCells())
+	}
+	if i >= grid {
+		si := i - grid
+		id := fmt.Sprintf("spec[%d]=%s", si, s.Specs[si].Name)
+		c := Cell{
+			Index:  i,
+			ID:     id,
+			Scheme: specScheme(s.Specs[si]),
+			Seed:   DeriveCellSeed(s.Seed, id),
+			sweep:  s,
+			spec:   si,
+		}
+		return c, nil
+	}
+	// Mixed-radix decode: the first axis varies slowest.
+	idx := make([]int, len(s.Axes))
+	rem := i
+	for a := len(s.Axes) - 1; a >= 0; a-- {
+		n := s.Axes[a].Len()
+		idx[a] = rem % n
+		rem /= n
+	}
+	family := s.Family
+	scheme := s.Scheme
+	coords := make([]Coord, 0, len(s.Axes))
+	for a, ax := range s.Axes {
+		v := ax.coord(idx[a])
+		coords = append(coords, Coord{Axis: ax.Name, Value: v})
+		switch ax.Name {
+		case AxisFamily:
+			family = v
+		case AxisScheme:
+			scheme = v
+		}
+	}
+	c := Cell{
+		Index:  i,
+		Family: family,
+		Scheme: scheme,
+		Coords: coords,
+		sweep:  s,
+		spec:   -1,
+	}
+	c.ID = cellID(family, coords)
+	c.Seed = DeriveCellSeed(s.Seed, c.ID)
+	return c, nil
+}
+
+// cellID renders the stable coordinate identity: the family first (whether
+// it came from the field or the family axis), then every non-family axis in
+// declaration order.
+func cellID(family string, coords []Coord) string {
+	parts := make([]string, 0, len(coords)+1)
+	parts = append(parts, "family="+family)
+	for _, c := range coords {
+		if c.Axis == AxisFamily {
+			continue
+		}
+		parts = append(parts, c.Axis+"="+c.Value)
+	}
+	return strings.Join(parts, "/")
+}
+
+// specScheme returns the single scheme an explicit spec runs, or "" when it
+// mixes several.
+func specScheme(spec scenario.Spec) string {
+	scheme := ""
+	note := func(s string) bool {
+		if s == "" || (scheme != "" && scheme != s) {
+			return false
+		}
+		scheme = s
+		return true
+	}
+	for _, f := range spec.Flows {
+		if !note(f.Scheme) {
+			return ""
+		}
+	}
+	if spec.Churn != nil {
+		for _, c := range spec.Churn.Classes {
+			if !note(c.Scheme) {
+				return ""
+			}
+		}
+	}
+	return scheme
+}
+
+// Spec materializes the cell's executable scenario spec: the family builder
+// applied to the cell's coordinates (or the explicit spec), with the cell's
+// derived seed and the sweep's repetition budget. The result is a plain
+// scenario.Spec — running it standalone with any scenario.Runner reproduces
+// the campaign's numbers for this cell exactly.
+func (c Cell) Spec() (scenario.Spec, error) {
+	if c.sweep == nil {
+		return scenario.Spec{}, fmt.Errorf("campaign: cell %q was not produced by SweepSpec.Cell", c.ID)
+	}
+	if c.spec >= 0 {
+		spec := c.sweep.Specs[c.spec]
+		spec.Seed = c.Seed
+		if spec.DurationSeconds == 0 {
+			spec.DurationSeconds = c.sweep.DurationSeconds
+		}
+		if spec.Repetitions == 0 {
+			spec.Repetitions = c.sweep.Reps()
+		}
+		return spec, nil
+	}
+	build, ok := familyBuilder(c.Family)
+	if !ok {
+		return scenario.Spec{}, fmt.Errorf("campaign: cell %q names unknown family %q", c.ID, c.Family)
+	}
+	cfg := scenario.FamilyConfig{
+		Scheme:          c.Scheme,
+		RemyCC:          c.sweep.RemyCC,
+		Workload:        c.sweep.workload(),
+		DurationSeconds: c.sweep.DurationSeconds,
+		Seed:            c.Seed,
+		Repetitions:     c.sweep.Reps(),
+	}
+	for _, co := range c.Coords {
+		switch co.Axis {
+		case AxisScheme, AxisFamily:
+			// Already captured in c.Scheme / c.Family.
+		case AxisOfferedLoad:
+			cfg.OfferedLoad = mustFloat(co.Value)
+		case AxisRTTMs:
+			cfg.RTTMs = mustFloat(co.Value)
+		case AxisRateScale:
+			cfg.RateScale = mustFloat(co.Value)
+		case AxisBufferPackets:
+			cfg.BufferPackets = int(mustFloat(co.Value))
+		default:
+			return scenario.Spec{}, fmt.Errorf("campaign: cell %q has unknown axis %q", c.ID, co.Axis)
+		}
+	}
+	return build(cfg), nil
+}
+
+// mustFloat parses a canonical coordinate back to its float64. Coordinates
+// are produced by strconv.FormatFloat, so parsing cannot fail on specs that
+// passed validation.
+func mustFloat(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: corrupt coordinate %q: %v", s, err))
+	}
+	return v
+}

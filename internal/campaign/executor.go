@@ -1,0 +1,383 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// ErrInterrupted reports a run stopped by its Stop channel. The manifest
+// written so far is valid; re-running with the same options resumes from it.
+var ErrInterrupted = errors.New("campaign: interrupted (resume from the manifest)")
+
+// Executor runs a campaign's cells over scenario.Runner. Parallelism has two
+// levels: Workers cells run concurrently (each on its own work-stealing
+// worker), and each cell's repetitions run under an inner scenario.Runner
+// pool of InnerWorkers. Neither knob affects any number in the output — only
+// wall-clock time.
+type Executor struct {
+	// Registry resolves scheme/queue/link names; nil means scenario.Default().
+	Registry *scenario.Registry
+	// Workers bounds concurrently running cells; <= 0 means NumCPU-1 (at
+	// least 1).
+	Workers int
+	// InnerWorkers is each cell's repetition pool; <= 0 means 1 (the outer
+	// pool already saturates the cores on wide grids).
+	InnerWorkers int
+	// Logf, if non-nil, receives progress messages.
+	Logf func(format string, args ...any)
+	// OnCell, if non-nil, observes every freshly executed cell with its full
+	// per-repetition results, in repetition order, before they are discarded.
+	// Calls are serialized but cell order follows completion, which is
+	// scheduling-dependent. Resumed (manifest-restored) cells are NOT
+	// replayed — their per-rep results no longer exist.
+	OnCell func(cell Cell, results []scenario.Result)
+}
+
+// RunOptions selects the slice of the campaign one process executes and how
+// it checkpoints.
+type RunOptions struct {
+	// Shard/NumShards split the grid across processes: this process runs the
+	// cells whose index ≡ Shard (mod NumShards). NumShards <= 1 means the
+	// whole campaign.
+	Shard, NumShards int
+	// ManifestPath, when non-empty, appends a checkpoint line per completed
+	// cell; if the file already exists its cells are verified against the
+	// sweep and skipped (resume).
+	ManifestPath string
+	// Stop, when non-nil and closed, interrupts the run at the next clean
+	// point: no new cells or repetitions start, in-flight work is discarded,
+	// and Run returns ErrInterrupted with the manifest intact.
+	Stop <-chan struct{}
+}
+
+func (e Executor) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (e Executor) innerWorkers() int {
+	if e.InnerWorkers > 0 {
+		return e.InnerWorkers
+	}
+	return 1
+}
+
+func (e Executor) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// cellQueue is one worker's deque of cell indices. The owner pops from the
+// front; thieves steal half from the back, so an owner keeps the locality of
+// its contiguous range while big leftovers migrate to idle workers.
+type cellQueue struct {
+	mu    sync.Mutex
+	cells []int
+}
+
+func (q *cellQueue) popFront() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.cells) == 0 {
+		return 0, false
+	}
+	c := q.cells[0]
+	q.cells = q.cells[1:]
+	return c, true
+}
+
+// stealBack removes up to half of the victim's remaining cells from the back
+// and returns them (empty when there is nothing to steal).
+func (q *cellQueue) stealBack() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.cells)
+	if n == 0 {
+		return nil
+	}
+	take := (n + 1) / 2
+	stolen := make([]int, take)
+	copy(stolen, q.cells[n-take:])
+	q.cells = q.cells[:n-take]
+	return stolen
+}
+
+func (q *cellQueue) pushAll(cells []int) {
+	q.mu.Lock()
+	q.cells = append(q.cells, cells...)
+	q.mu.Unlock()
+}
+
+func (q *cellQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.cells)
+}
+
+// Run executes this process's share of the campaign: every shard cell not
+// already checkpointed in the manifest. It returns the shard's complete
+// record set — resumed cells plus freshly executed ones — sorted by cell
+// index. Numbers are independent of Workers, InnerWorkers and steal
+// scheduling because each cell is a deterministic unit: its seed derives
+// from the campaign seed and its ID, its repetitions fold in repetition
+// order, and nothing crosses cell boundaries.
+func (e Executor) Run(sweep SweepSpec, opts RunOptions) ([]CellRecord, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NumShards > 1 && (opts.Shard < 0 || opts.Shard >= opts.NumShards) {
+		return nil, fmt.Errorf("campaign: shard %d out of range [0,%d)", opts.Shard, opts.NumShards)
+	}
+
+	// Resume: load the manifest (if any) and index its cells by ID.
+	done := make(map[string]CellRecord)
+	var records []CellRecord
+	if opts.ManifestPath != "" {
+		if _, err := os.Stat(opts.ManifestPath); err == nil {
+			recs, err := ReadManifest(opts.ManifestPath)
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range recs {
+				if rec.Campaign != sweep.Name {
+					return nil, fmt.Errorf("campaign: manifest %s belongs to campaign %q, not %q", opts.ManifestPath, rec.Campaign, sweep.Name)
+				}
+				if prev, dup := done[rec.ID]; dup {
+					if prev.Seed != rec.Seed {
+						return nil, fmt.Errorf("campaign: manifest %s has conflicting records for cell %q", opts.ManifestPath, rec.ID)
+					}
+					continue
+				}
+				done[rec.ID] = rec
+			}
+		}
+	}
+
+	// Enumerate this shard's cells lazily (metadata only — no specs are
+	// materialized here) and split out what still needs to run. Resumed
+	// records are re-verified against the sweep: a manifest from an edited
+	// config must fail loudly, not silently misreport.
+	var pending []int
+	shardCells := 0
+	for i := 0; i < sweep.NumCells(); i++ {
+		if opts.NumShards > 1 && i%opts.NumShards != opts.Shard {
+			continue
+		}
+		shardCells++
+		cell, err := sweep.Cell(i)
+		if err != nil {
+			return nil, err
+		}
+		if rec, ok := done[cell.ID]; ok {
+			if rec.Seed != cell.Seed || rec.Index != cell.Index {
+				return nil, fmt.Errorf("campaign: manifest cell %q (index %d, seed %d) does not match the sweep (index %d, seed %d); the config changed since the checkpoint",
+					cell.ID, rec.Index, rec.Seed, cell.Index, cell.Seed)
+			}
+			records = append(records, rec)
+			continue
+		}
+		pending = append(pending, i)
+	}
+	e.logf("campaign: %q shard %d/%d: %d cells (%d checkpointed, %d to run)",
+		sweep.Name, opts.Shard, max(1, opts.NumShards), shardCells, len(records), len(pending))
+
+	if len(pending) > 0 {
+		fresh, err := e.runPending(&sweep, pending, opts)
+		records = append(records, fresh...)
+		if err != nil {
+			return records, err
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Index < records[j].Index })
+	return records, nil
+}
+
+// runPending executes the given cell indices across the work-stealing pool.
+func (e Executor) runPending(sweep *SweepSpec, pending []int, opts RunOptions) ([]CellRecord, error) {
+	workers := e.workers()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	// Internal stop: closed on first error or when the caller's Stop fires.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	finished := make(chan struct{})
+	defer close(finished)
+	if opts.Stop != nil {
+		go func() {
+			select {
+			case <-opts.Stop:
+				cancel()
+			case <-finished:
+			}
+		}()
+	}
+
+	// Split the pending cells into contiguous per-worker runs; idle workers
+	// steal from the fullest victim.
+	queues := make([]*cellQueue, workers)
+	chunk := (len(pending) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(pending) {
+			lo = len(pending)
+		}
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		queues[w] = &cellQueue{cells: append([]int(nil), pending[lo:hi]...)}
+	}
+
+	type cellDone struct {
+		cell    Cell
+		rec     CellRecord
+		results []scenario.Result
+		err     error
+	}
+	out := make(chan cellDone)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx, ok := queues[self].popFront()
+				if !ok {
+					// Own queue dry: steal from the victim with the most
+					// remaining work.
+					victim, best := -1, 0
+					for v := range queues {
+						if v == self {
+							continue
+						}
+						if n := queues[v].size(); n > best {
+							victim, best = v, n
+						}
+					}
+					if victim < 0 {
+						return
+					}
+					stolen := queues[victim].stealBack()
+					if len(stolen) == 0 {
+						continue // lost the race; rescan
+					}
+					queues[self].pushAll(stolen)
+					continue
+				}
+				cell, rec, results, err := e.runCell(sweep, idx, stop)
+				select {
+				case out <- cellDone{cell: cell, rec: rec, results: results, err: err}:
+				case <-stop:
+					return
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(out) }()
+
+	// Collector: checkpoint each completed cell, hand results to OnCell,
+	// accumulate records. Single goroutine — manifest writes and OnCell
+	// calls are naturally serialized.
+	var manifest *os.File
+	if opts.ManifestPath != "" {
+		f, err := os.OpenFile(opts.ManifestPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			cancel()
+			for range out {
+			}
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		manifest = f
+		defer manifest.Close()
+	}
+	var fresh []CellRecord
+	var firstErr error
+	for d := range out {
+		if d.err != nil {
+			if firstErr == nil && !errors.Is(d.err, ErrInterrupted) {
+				firstErr = d.err
+			}
+			cancel()
+			continue
+		}
+		if manifest != nil {
+			if err := AppendRecord(manifest, d.rec); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				cancel()
+				continue
+			}
+		}
+		if e.OnCell != nil {
+			e.OnCell(d.cell, d.results)
+		}
+		fresh = append(fresh, d.rec)
+		e.logf("campaign: cell %q done (%d reps, %d flows completed)", d.rec.ID, d.rec.Aggregate.Reps, d.rec.Aggregate.FlowsCompleted)
+	}
+	if firstErr != nil {
+		return fresh, firstErr
+	}
+	select {
+	case <-stop:
+		return fresh, ErrInterrupted
+	default:
+	}
+	return fresh, nil
+}
+
+// runCell materializes and executes one cell, folding its repetitions — in
+// repetition order — into the O(1) aggregate.
+func (e Executor) runCell(sweep *SweepSpec, idx int, stop <-chan struct{}) (Cell, CellRecord, []scenario.Result, error) {
+	cell, err := sweep.Cell(idx)
+	if err != nil {
+		return cell, CellRecord{}, nil, err
+	}
+	spec, err := cell.Spec()
+	if err != nil {
+		return cell, CellRecord{}, nil, err
+	}
+	reps := spec.Reps()
+	runner := scenario.Runner{Registry: e.Registry, Workers: e.innerWorkers()}
+	results := make([]scenario.Result, reps)
+	got := 0
+	for res := range runner.Stream(stop, []scenario.Spec{spec}) {
+		if res.Err != nil {
+			// Abandon the stream; the cancellation-aware Stream reaps its
+			// workers once stop closes (the collector closes it on error).
+			return cell, CellRecord{}, nil, fmt.Errorf("campaign: cell %q: %w", cell.ID, res.Err)
+		}
+		results[res.Rep] = res
+		got++
+	}
+	if got < reps {
+		return cell, CellRecord{}, nil, ErrInterrupted
+	}
+	agg := newCellAggregator()
+	for _, res := range results {
+		agg.fold(res)
+	}
+	return cell, recordFor(sweep.Name, cell, spec.Name, agg.finalize()), results, nil
+}

@@ -1,0 +1,251 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report fixture")
+
+// encodeRun executes the sweep under the given executor and options and
+// returns the canonical report bytes.
+func encodeRun(t *testing.T, e Executor, s SweepSpec, opts RunOptions) []byte {
+	t.Helper()
+	records, err := e.Run(s, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep, err := BuildReport(s, records)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// TestShardUnionByteIdentical is the campaign determinism contract: running
+// the 12-cell sweep as shards 0..2 of 3 in separate executor invocations and
+// merging their manifests produces a report byte-identical to the
+// single-process run.
+func TestShardUnionByteIdentical(t *testing.T) {
+	s := testSweep()
+	single := encodeRun(t, Executor{Workers: 3}, s, RunOptions{})
+
+	dir := t.TempDir()
+	var manifests []string
+	for shard := 0; shard < 3; shard++ {
+		path := filepath.Join(dir, "manifest-"+string(rune('0'+shard))+"of3.jsonl")
+		manifests = append(manifests, path)
+		e := Executor{Workers: 2}
+		if _, err := e.Run(s, RunOptions{Shard: shard, NumShards: 3, ManifestPath: path}); err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+	}
+	records, err := ReadManifests(manifests)
+	if err != nil {
+		t.Fatalf("ReadManifests: %v", err)
+	}
+	rep, err := BuildReport(s, records)
+	if err != nil {
+		t.Fatalf("BuildReport(merged): %v", err)
+	}
+	merged, err := rep.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(single, merged) {
+		t.Fatalf("merged shard report differs from the single-process report:\nsingle: %d bytes\nmerged: %d bytes", len(single), len(merged))
+	}
+}
+
+// TestWorkerCountInvariance pins that neither the outer work-stealing pool
+// nor the inner repetition pool changes a single output byte.
+func TestWorkerCountInvariance(t *testing.T) {
+	s := testSweep()
+	base := encodeRun(t, Executor{Workers: 1, InnerWorkers: 1}, s, RunOptions{})
+	for _, w := range []struct{ outer, inner int }{{4, 1}, {2, 4}, {8, 8}} {
+		got := encodeRun(t, Executor{Workers: w.outer, InnerWorkers: w.inner}, s, RunOptions{})
+		if !bytes.Equal(base, got) {
+			t.Fatalf("report changed with Workers=%d InnerWorkers=%d", w.outer, w.inner)
+		}
+	}
+}
+
+// TestGoldenReport pins the full report bytes — identity, seeds, aggregates —
+// against a committed fixture. Regenerate with -update after an intentional
+// change to the simulation or the aggregation.
+func TestGoldenReport(t *testing.T) {
+	s := testSweep()
+	got := encodeRun(t, Executor{Workers: 4}, s, RunOptions{})
+	path := filepath.Join("testdata", "report_12cell.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from the golden fixture %s (re-run with -update if intentional)", path)
+	}
+}
+
+// TestResumeAfterInterrupt interrupts a run via Stop after the first cell
+// checkpoints, then resumes from the manifest and checks the final report is
+// byte-identical to an uninterrupted run — and that resumed cells were not
+// re-executed.
+func TestResumeAfterInterrupt(t *testing.T) {
+	s := testSweep()
+	clean := encodeRun(t, Executor{Workers: 2}, s, RunOptions{})
+
+	manifest := filepath.Join(t.TempDir(), "manifest.jsonl")
+	stop := make(chan struct{})
+	var once sync.Once
+	first := Executor{
+		Workers: 2,
+		OnCell: func(Cell, []scenario.Result) {
+			once.Do(func() { close(stop) })
+		},
+	}
+	records, err := first.Run(s, RunOptions{ManifestPath: manifest, Stop: stop})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	if len(records) == 0 || len(records) >= s.NumCells() {
+		t.Fatalf("interrupted run checkpointed %d of %d cells; want a strict subset with progress", len(records), s.NumCells())
+	}
+
+	reran := 0
+	second := Executor{
+		Workers: 2,
+		OnCell:  func(Cell, []scenario.Result) { reran++ },
+	}
+	resumed, err := second.Run(s, RunOptions{ManifestPath: manifest})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if reran != s.NumCells()-len(records) {
+		t.Fatalf("resume re-executed %d cells, want %d (checkpointed cells must not re-run)", reran, s.NumCells()-len(records))
+	}
+	rep, err := BuildReport(s, resumed)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, data) {
+		t.Fatal("resumed report differs from the uninterrupted run")
+	}
+}
+
+// TestResumeRejectsChangedConfig pins the guard against resuming a manifest
+// whose sweep config was edited: seeds no longer match, and the run must fail
+// loudly instead of mixing incompatible results.
+func TestResumeRejectsChangedConfig(t *testing.T) {
+	s := testSweep()
+	manifest := filepath.Join(t.TempDir(), "manifest.jsonl")
+	if _, err := (Executor{Workers: 2}).Run(s, RunOptions{ManifestPath: manifest}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	changed := s
+	changed.Seed = 999
+	_, err := (Executor{Workers: 2}).Run(changed, RunOptions{ManifestPath: manifest})
+	if err == nil || !strings.Contains(err.Error(), "config changed") {
+		t.Fatalf("resume with a changed seed returned %v, want a config-changed error", err)
+	}
+}
+
+func TestManifestTruncatedFinalLine(t *testing.T) {
+	s := testSweep()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.jsonl")
+	recs, err := (Executor{Workers: 2}).Run(s, RunOptions{ManifestPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A truncated FINAL line (crash mid-write) is dropped silently.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := append(append([]byte{}, data...), []byte(`{"version":1,"campaign":"unit","index":`)...)
+	truncPath := filepath.Join(dir, "truncated.jsonl")
+	if err := os.WriteFile(truncPath, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(truncPath)
+	if err != nil {
+		t.Fatalf("truncated final line should be tolerated: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records from the truncated manifest, want %d", len(got), len(recs))
+	}
+
+	// The same garbage ANYWHERE ELSE is corruption and must error.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	corrupt := append([]byte(`{"version":1,"broken`+"\n"), bytes.Join(lines, nil)...)
+	corruptPath := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corruptPath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(corruptPath); err == nil {
+		t.Fatal("mid-file corruption was silently accepted")
+	}
+}
+
+// TestBuildReportIncomplete pins the completeness check: a partial record set
+// must fail with a missing-cells error, never emit a silently short report.
+func TestBuildReportIncomplete(t *testing.T) {
+	s := testSweep()
+	records, err := (Executor{Workers: 2}).Run(s, RunOptions{Shard: 0, NumShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildReport(s, records); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("BuildReport on one shard returned %v, want an incomplete-report error", err)
+	}
+}
+
+// TestReportCSV sanity-checks the flat CSV rendering: header plus one row per
+// cell, parseable floats.
+func TestReportCSV(t *testing.T) {
+	s := testSweep()
+	records, err := (Executor{Workers: 4}).Run(s, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildReport(s, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if got, want := len(lines), 1+s.NumCells(); got != want {
+		t.Fatalf("CSV has %d lines, want %d (header + cells)", got, want)
+	}
+	if !strings.HasPrefix(lines[0], "index,id,family,scheme") {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+}

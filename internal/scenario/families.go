@@ -24,6 +24,42 @@ type FamilyConfig struct {
 	// of each class's bottleneck capacity, evaluated at the size
 	// distribution's median (0 means 0.5). Ignored by the other families.
 	OfferedLoad float64
+	// RTTMs, when positive, overrides every responsive flow's (and churn
+	// class's) two-way propagation delay; 0 keeps each family's canonical
+	// RTTs. Campaign sweeps use it as an axis.
+	RTTMs float64
+	// RateScale, when positive, multiplies every link's rate (the flow-churn
+	// family rescales its arrival rates with the links, so OfferedLoad keeps
+	// its meaning); 0 or 1 keeps the canonical rates.
+	RateScale float64
+	// BufferPackets, when positive, sets the spec-level queue capacity, which
+	// links without their own queue spec inherit; 0 keeps the discipline
+	// default.
+	BufferPackets int
+}
+
+// rtt returns the family's canonical RTT or the sweep override.
+func (c FamilyConfig) rtt(def float64) float64 {
+	if c.RTTMs > 0 {
+		return c.RTTMs
+	}
+	return def
+}
+
+// rate returns the family's canonical link rate scaled by RateScale.
+func (c FamilyConfig) rate(def float64) float64 {
+	if c.RateScale > 0 {
+		return def * c.RateScale
+	}
+	return def
+}
+
+// apply sets the spec-level knobs shared by every family (currently the
+// buffer override).
+func (c FamilyConfig) apply(s *Spec) {
+	if c.BufferPackets > 0 {
+		s.Queue.CapacityPackets = c.BufferPackets
+	}
 }
 
 func (c FamilyConfig) flow(count int, rttMs float64, path, reverse []string) FlowSpec {
@@ -42,23 +78,25 @@ func (c FamilyConfig) flow(count int, rttMs float64, path, reverse []string) Flo
 // hops of a three-node chain while one cross flow loads each hop, so the
 // long flow pays queueing (and possibly drops) twice per round trip.
 func ParkingLotSpec(c FamilyConfig) Spec {
-	return New(
+	s := New(
 		WithName("parkinglot-"+c.Scheme),
 		WithDescription("Parking lot: src→mid→dst chain with a 10 Mbps and a 6 Mbps bottleneck; one long flow crosses both hops, one cross flow per hop."),
 		WithTopology(TopologySpec{
 			Nodes: []NodeSpec{{Name: "src"}, {Name: "mid"}, {Name: "dst"}},
 			Links: []TopoLinkSpec{
-				{Name: "hop1", From: "src", To: "mid", RateBps: 10e6, DelayMs: 10},
-				{Name: "hop2", From: "mid", To: "dst", RateBps: 6e6, DelayMs: 10},
+				{Name: "hop1", From: "src", To: "mid", RateBps: c.rate(10e6), DelayMs: 10},
+				{Name: "hop2", From: "mid", To: "dst", RateBps: c.rate(6e6), DelayMs: 10},
 			},
 		}),
 		WithDuration(c.DurationSeconds),
 		WithSeed(c.Seed),
 		WithRepetitions(c.Repetitions),
-		WithFlow(c.flow(1, 40, []string{"hop1", "hop2"}, nil)),
-		WithFlow(c.flow(1, 40, []string{"hop1"}, nil)),
-		WithFlow(c.flow(1, 40, []string{"hop2"}, nil)),
+		WithFlow(c.flow(1, c.rtt(40), []string{"hop1", "hop2"}, nil)),
+		WithFlow(c.flow(1, c.rtt(40), []string{"hop1"}, nil)),
+		WithFlow(c.flow(1, c.rtt(40), []string{"hop2"}, nil)),
 	)
+	c.apply(&s)
+	return s
 }
 
 // CrossTrafficSpec is the dumbbell with unresponsive cross traffic: two
@@ -68,7 +106,7 @@ func ParkingLotSpec(c FamilyConfig) Spec {
 func CrossTrafficSpec(c FamilyConfig) Spec {
 	cross := FlowSpec{
 		Scheme:  "cbr",
-		RateBps: 5e6,
+		RateBps: c.rate(5e6),
 		RTTMs:   80,
 		Workload: WorkloadSpec{
 			Mode:    ModeByTime,
@@ -78,21 +116,23 @@ func CrossTrafficSpec(c FamilyConfig) Spec {
 		},
 		Path: []string{"bottleneck"},
 	}
-	return New(
+	s := New(
 		WithName("crosstraffic-"+c.Scheme),
 		WithDescription("Cross-traffic dumbbell: two responsive flows share a 15 Mbps bottleneck with an unresponsive on/off 5 Mbps CBR source."),
 		WithTopology(TopologySpec{
 			Nodes: []NodeSpec{{Name: "src"}, {Name: "dst"}},
 			Links: []TopoLinkSpec{
-				{Name: "bottleneck", From: "src", To: "dst", RateBps: 15e6, DelayMs: 25},
+				{Name: "bottleneck", From: "src", To: "dst", RateBps: c.rate(15e6), DelayMs: 25},
 			},
 		}),
 		WithDuration(c.DurationSeconds),
 		WithSeed(c.Seed),
 		WithRepetitions(c.Repetitions),
-		WithFlow(c.flow(2, 100, []string{"bottleneck"}, nil)),
+		WithFlow(c.flow(2, c.rtt(100), []string{"bottleneck"}, nil)),
 		WithFlow(cross),
 	)
+	c.apply(&s)
+	return s
 }
 
 // AsymmetricReverseSpec is the asymmetric-path dumbbell: data crosses a
@@ -100,14 +140,14 @@ func CrossTrafficSpec(c FamilyConfig) Spec {
 // link with its own (small) queue, so the ACK clock itself is congestible —
 // roughly 937 acks/s against the forward path's ~1250 packets/s.
 func AsymmetricReverseSpec(c FamilyConfig) Spec {
-	return New(
+	s := New(
 		WithName("asymreverse-"+c.Scheme),
 		WithDescription("Asymmetric reverse path: 15 Mbps forward bottleneck, 300 kbps ACK channel with a 100-packet queue (40-byte acks)."),
 		WithTopology(TopologySpec{
 			Nodes: []NodeSpec{{Name: "src"}, {Name: "dst"}},
 			Links: []TopoLinkSpec{
-				{Name: "fwd", From: "src", To: "dst", RateBps: 15e6, DelayMs: 25},
-				{Name: "rev", From: "dst", To: "src", RateBps: 0.3e6, DelayMs: 25,
+				{Name: "fwd", From: "src", To: "dst", RateBps: c.rate(15e6), DelayMs: 25},
+				{Name: "rev", From: "dst", To: "src", RateBps: c.rate(0.3e6), DelayMs: 25,
 					Queue: QueueSpec{Kind: QueueDropTail, CapacityPackets: 100}},
 			},
 			AckBytes: 40,
@@ -115,8 +155,10 @@ func AsymmetricReverseSpec(c FamilyConfig) Spec {
 		WithDuration(c.DurationSeconds),
 		WithSeed(c.Seed),
 		WithRepetitions(c.Repetitions),
-		WithFlow(c.flow(2, 100, []string{"fwd"}, []string{"rev"})),
+		WithFlow(c.flow(2, c.rtt(100), []string{"fwd"}, []string{"rev"})),
 	)
+	c.apply(&s)
+	return s
 }
 
 // churnMedianBytes is the median of the flow-churn family's size
@@ -139,20 +181,20 @@ func FlowChurnSpec(c FamilyConfig) Spec {
 	if load <= 0 {
 		load = 0.5
 	}
-	const hop1Bps, hop2Bps = 10e6, 6e6
+	hop1Bps, hop2Bps := c.rate(10e6), c.rate(6e6)
 	size := ICSIDist(16e3)
 	class := func(path []string, shareBps float64) ChurnClassSpec {
 		rate := load * shareBps / (8 * churnMedianBytes)
 		return ChurnClassSpec{
 			Scheme:       c.Scheme,
 			RemyCC:       c.RemyCC,
-			RTTMs:        40,
+			RTTMs:        c.rtt(40),
 			Interarrival: ExponentialDist(1 / rate),
 			Size:         size,
 			Path:         path,
 		}
 	}
-	return New(
+	s := New(
 		WithName("flowchurn-"+c.Scheme),
 		WithDescription("Flow churn: parking-lot topology under Poisson arrivals of ICSI-Pareto-sized transfers (end-to-end, hop1 and hop2 classes) alongside one static long flow; reports flow completion times."),
 		WithTopology(TopologySpec{
@@ -165,7 +207,7 @@ func FlowChurnSpec(c FamilyConfig) Spec {
 		WithDuration(c.DurationSeconds),
 		WithSeed(c.Seed),
 		WithRepetitions(c.Repetitions),
-		WithFlow(c.flow(1, 40, []string{"hop1", "hop2"}, nil)),
+		WithFlow(c.flow(1, c.rtt(40), []string{"hop1", "hop2"}, nil)),
 		WithChurn(ChurnSpec{
 			MaxLiveFlows: 512,
 			Classes: []ChurnClassSpec{
@@ -175,6 +217,8 @@ func FlowChurnSpec(c FamilyConfig) Spec {
 			},
 		}),
 	)
+	c.apply(&s)
+	return s
 }
 
 // BeyondDumbbellFamilies returns the three canonical beyond-dumbbell spec

@@ -103,29 +103,49 @@ func (r Runner) run(specIndex, rep int, spec *Spec) Result {
 // streams results over the returned channel as they complete. Completion
 // order depends on scheduling, but each Result is deterministic for its
 // (spec, rep) pair; use RunAll for a deterministic ordering. The channel
-// closes after the last result and MUST be drained: abandoning it early
-// leaves the producer and worker goroutines blocked on their sends.
-func (r Runner) Stream(specs []Spec) <-chan Result {
+// closes after the last result.
+//
+// done, when non-nil, cancels the stream: once it is closed, no new
+// repetitions start, in-flight workers discard their results instead of
+// blocking on the abandoned channel, and every goroutine exits. A consumer
+// that stops reading early MUST close done (directly or via defer) or the
+// producer and workers leak, blocked on their sends forever.
+func (r Runner) Stream(done <-chan struct{}, specs []Spec) <-chan Result {
 	out := make(chan Result)
 	go func() {
 		defer close(out)
 		sem := make(chan struct{}, r.workers())
 		var wg sync.WaitGroup
+		defer wg.Wait()
 		for si := range specs {
 			spec := &specs[si]
 			reps := spec.Reps()
 			r.logf("scenario: running %q (%d repetitions)", spec.Name, reps)
 			for rep := 0; rep < reps; rep++ {
+				select {
+				case <-done:
+					return
+				case sem <- struct{}{}:
+				}
 				wg.Add(1)
-				sem <- struct{}{}
 				go func(si, rep int, spec *Spec) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					out <- r.run(si, rep, spec)
+					select {
+					case <-done:
+						// Cancelled between dispatch and start; skip the run.
+						return
+					default:
+					}
+					select {
+					case out <- r.run(si, rep, spec):
+					case <-done:
+						// The consumer gave up; drop the result so the
+						// worker (and the producer waiting on wg) can exit.
+					}
 				}(si, rep, spec)
 			}
 		}
-		wg.Wait()
 	}()
 	return out
 }
@@ -142,7 +162,7 @@ func (r Runner) RunAll(specs []Spec) ([]Result, error) {
 		total += specs[i].Reps()
 	}
 	results := make([]Result, total)
-	for res := range r.Stream(specs) {
+	for res := range r.Stream(nil, specs) {
 		results[offsets[res.SpecIndex]+res.Rep] = res
 	}
 	for _, res := range results {

@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -206,5 +208,53 @@ func TestHasProtocol(t *testing.T) {
 	reg := Default()
 	if !reg.HasProtocol("cubic") || reg.HasProtocol("carrier-pigeon") {
 		t.Error("HasProtocol")
+	}
+}
+
+// TestStreamCancellation abandons a Stream after one result and verifies the
+// producer and worker goroutines all exit instead of blocking on sends into
+// the abandoned channel forever (the leak the campaign executor's
+// interrupt/resume path depends on not having).
+func TestStreamCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	done := make(chan struct{})
+	// Plenty of repetitions so workers are guaranteed to still be producing
+	// when the consumer walks away.
+	ch := Runner{Workers: 4}.Stream(done, []Spec{quickSpec(32)})
+	<-ch // take one result, then abandon the channel
+	close(done)
+	// Every goroutine the stream spawned must exit; poll because in-flight
+	// simulations finish their current run before noticing the cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d before stream, %d now", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The channel must be closed (drained) eventually, not left open.
+	for range ch {
+	}
+}
+
+// TestStreamNilDoneDrainsToCompletion pins the done=nil form: a fully
+// drained stream yields every repetition exactly once.
+func TestStreamNilDoneDrainsToCompletion(t *testing.T) {
+	seen := make(map[int]bool)
+	for res := range (Runner{Workers: 3}).Stream(nil, []Spec{quickSpec(5)}) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if seen[res.Rep] {
+			t.Fatalf("repetition %d delivered twice", res.Rep)
+		}
+		seen[res.Rep] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("drained %d repetitions, want 5", len(seen))
 	}
 }

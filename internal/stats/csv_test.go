@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"encoding/csv"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCSVFloatRoundTrip: every formatted float must parse back to exactly
+// the value it came from — the locale-safety contract report artifacts rely
+// on.
+func TestCSVFloatRoundTrip(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.5, 1.0 / 3.0, 3.141592653589793, 1e-300, 1e300,
+		6.25e6, 123456.789, -0.000123, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1),
+	}
+	for _, v := range values {
+		s := CSVFloat(v)
+		if strings.ContainsRune(s, ',') {
+			t.Errorf("CSVFloat(%g) = %q contains a comma", v, s)
+		}
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Errorf("CSVFloat(%g) = %q does not parse: %v", v, s, err)
+			continue
+		}
+		if back != v {
+			t.Errorf("CSVFloat(%g) = %q parses back to %g", v, s, back)
+		}
+	}
+	if s := CSVFloat(math.NaN()); !math.IsNaN(mustParse(t, s)) {
+		t.Errorf("CSVFloat(NaN) = %q does not round-trip to NaN", s)
+	}
+}
+
+func mustParse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestCSVWriterRoundTrip writes typed rows, reads them back through the
+// standard CSV reader, and checks every cell survives — including quoted
+// strings with embedded commas and newlines.
+func TestCSVWriterRoundTrip(t *testing.T) {
+	var b strings.Builder
+	w := NewCSVWriter(&b)
+	rows := [][]any{
+		{"cell_id", "scheme", "tput_mbps", "flows", "ok"},
+		{"scheme=cubic/load=0.5", "cubic", 6.25, int64(12345), true},
+		{"weird,\"name\"\nhere", "vegas", 1.0 / 3.0, 0, false},
+	}
+	for _, r := range rows {
+		if err := w.Row(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(got), len(rows))
+	}
+	if got[1][0] != "scheme=cubic/load=0.5" || got[2][0] != "weird,\"name\"\nhere" {
+		t.Errorf("string cells mangled: %q, %q", got[1][0], got[2][0])
+	}
+	if v := mustParse(t, got[2][2]); v != 1.0/3.0 {
+		t.Errorf("float cell parses to %g, want exactly 1/3", v)
+	}
+	if got[1][3] != "12345" || got[1][4] != "true" {
+		t.Errorf("int/bool cells mangled: %q, %q", got[1][3], got[1][4])
+	}
+}
+
+// TestCSVWriterRejectsUnsupportedType pins the error path: a struct cell is
+// an error, not a fmt.Sprintf guess.
+func TestCSVWriterRejectsUnsupportedType(t *testing.T) {
+	w := NewCSVWriter(&strings.Builder{})
+	if err := w.Row(struct{}{}); err == nil {
+		t.Fatal("want error for unsupported field type")
+	}
+}

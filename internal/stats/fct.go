@@ -131,12 +131,16 @@ func (e *P2Quantile) linear(i int, d float64) float64 {
 }
 
 // Value returns the current quantile estimate. With five or fewer samples the
-// estimate is the exact sample quantile.
+// estimate is the exact (interpolated) sample quantile — at exactly five
+// observations the P² markers have never been adjusted, so the middle marker
+// is the sample median whatever p is, and returning it for p95/p99 would be
+// garbage. Streams whose samples are all equal also report exactly that
+// value for every p.
 func (e *P2Quantile) Value() float64 {
 	if e.count == 0 {
 		return 0
 	}
-	if e.count < 5 {
+	if e.count <= 5 {
 		var buf [5]float64
 		s := buf[:e.count]
 		copy(s, e.q[:e.count])

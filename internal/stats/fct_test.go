@@ -181,3 +181,78 @@ func TestFCTAggregatorObserveAllocs(t *testing.T) {
 		t.Errorf("Observe allocates %.1f objects per call, want 0", allocs)
 	}
 }
+
+// TestP2QuantileExactAtFiveSamples pins the five-observation boundary: the
+// markers have never been adjusted at count==5, so Value must fall back to
+// the exact order statistic instead of returning the middle marker (which is
+// the sample median no matter what p the estimator tracks).
+func TestP2QuantileExactAtFiveSamples(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		e := NewP2Quantile(p)
+		for _, x := range []float64{5, 1, 4, 2, 3} {
+			e.Observe(x)
+		}
+		want := Quantile([]float64{1, 2, 3, 4, 5}, p)
+		if got := e.Value(); got != want {
+			t.Errorf("p=%g with 5 samples: Value = %g, want exact %g", p, got, want)
+		}
+	}
+}
+
+// TestP2QuantileAllEqualSamples streams identical observations of several
+// lengths (below, at and beyond the five-marker boundary) and requires the
+// exact answer — that constant — for every tracked quantile.
+func TestP2QuantileAllEqualSamples(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 6, 50} {
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			e := NewP2Quantile(p)
+			for i := 0; i < n; i++ {
+				e.Observe(42.5)
+			}
+			if got := e.Value(); got != 42.5 {
+				t.Errorf("n=%d p=%g all-equal stream: Value = %g, want 42.5", n, p, got)
+			}
+			if math.IsNaN(e.Value()) || math.IsInf(e.Value(), 0) {
+				t.Errorf("n=%d p=%g all-equal stream produced non-finite estimate", n, p)
+			}
+		}
+	}
+}
+
+// TestP2QuantileTinyStreams sweeps every count from 1 to 5 against the exact
+// interpolated quantile, the regime tiny campaign cells live in.
+func TestP2QuantileTinyStreams(t *testing.T) {
+	samples := []float64{9, 2, 7, 4, 1}
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.95, 0.99} {
+		e := NewP2Quantile(p)
+		for n := 1; n <= len(samples); n++ {
+			e.Observe(samples[n-1])
+			want := Quantile(samples[:n], p)
+			if got := e.Value(); math.Abs(got-want) > 1e-12 {
+				t.Errorf("p=%g after %d samples: Value = %g, want exact %g", p, n, got, want)
+			}
+		}
+	}
+}
+
+// TestFCTAggregatorTinyCell checks the summary a 3-completion campaign cell
+// would report: exact mean/min/max and exact order-statistic percentiles.
+func TestFCTAggregatorTinyCell(t *testing.T) {
+	a := NewFCTAggregator()
+	for _, x := range []float64{0.3, 0.1, 0.2} {
+		a.Observe(x)
+	}
+	s := a.Summary()
+	if s.Count != 3 || s.Min != 0.1 || s.Max != 0.3 {
+		t.Fatalf("count/min/max = %d/%g/%g, want 3/0.1/0.3", s.Count, s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-0.2) > 1e-12 {
+		t.Errorf("mean = %g, want 0.2", s.Mean)
+	}
+	if want := Quantile([]float64{0.1, 0.2, 0.3}, 0.95); math.Abs(s.P95-want) > 1e-12 {
+		t.Errorf("p95 = %g, want exact %g", s.P95, want)
+	}
+	if s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", s.P50, s.P95, s.P99)
+	}
+}
