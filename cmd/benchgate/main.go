@@ -1,0 +1,131 @@
+// Command benchgate compares two benchmark JSON files (the bench2json output
+// format) and exits non-zero if any gated benchmark regressed by more than a
+// threshold. CI uses it to diff a fresh run against the previous run's
+// archived artifact — or, when no artifact exists yet, against the committed
+// BENCH_engine.json reference:
+//
+//	benchgate -old prev.json -new bench_engine.ci.json \
+//	  -threshold 10 BenchmarkFlowChurn BenchmarkParkingLot
+//
+// Both files may contain repeated entries for the same benchmark (from
+// -count N runs); the minimum ns/op per name is compared, which discards
+// scheduler noise rather than averaging it in. The -old file may also be a
+// before/after reference file such as BENCH_engine.json, in which case its
+// "after" list is the comparison baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile is the union of the two JSON shapes benchgate reads: bench2json
+// output carries Benchmarks; a before/after reference file carries After.
+type benchFile struct {
+	Benchmarks []benchEntry `json:"benchmarks"`
+	After      []benchEntry `json:"after"`
+}
+
+type benchEntry struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// minMetric collapses repeated entries to the minimum value of metric per
+// benchmark name. Entries missing the metric are skipped.
+func minMetric(entries []benchEntry, metric string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range entries {
+		v, ok := e.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if prev, seen := out[e.Name]; !seen || v < prev {
+			out[e.Name] = v
+		}
+	}
+	return out
+}
+
+// gate compares new against old for each named benchmark and returns one
+// human-readable line per gated benchmark plus whether any regressed beyond
+// threshold percent. A benchmark missing from either side is reported and
+// counts as a failure: a silently vanished benchmark must not pass the gate.
+func gate(old, new map[string]float64, names []string, metric string, threshold float64) (lines []string, failed bool) {
+	for _, name := range names {
+		ov, okOld := old[name]
+		nv, okNew := new[name]
+		switch {
+		case !okOld:
+			lines = append(lines, fmt.Sprintf("FAIL %s: missing from old results", name))
+			failed = true
+		case !okNew:
+			lines = append(lines, fmt.Sprintf("FAIL %s: missing from new results", name))
+			failed = true
+		default:
+			delta := (nv - ov) / ov * 100
+			verdict := "ok"
+			if delta > threshold {
+				verdict = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%s %s: %s %.4g -> %.4g (%+.1f%%, threshold +%.0f%%)",
+				verdict, name, metric, ov, nv, delta, threshold))
+		}
+	}
+	return lines, failed
+}
+
+func readBenchFile(path string) ([]benchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	entries := f.Benchmarks
+	if len(entries) == 0 {
+		entries = f.After
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks or after entries", path)
+	}
+	return entries, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark JSON (bench2json output or a before/after reference file)")
+	newPath := flag.String("new", "", "fresh benchmark JSON (bench2json output)")
+	metric := flag.String("metric", "ns/op", "metric to gate on")
+	threshold := flag.Float64("threshold", 10, "maximum allowed regression in percent")
+	flag.Parse()
+
+	names := flag.Args()
+	if *oldPath == "" || *newPath == "" || len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -old OLD.json -new NEW.json [-metric ns/op] [-threshold 10] BenchmarkName...")
+		os.Exit(2)
+	}
+
+	oldEntries, err := readBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newEntries, err := readBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	lines, failed := gate(minMetric(oldEntries, *metric), minMetric(newEntries, *metric), names, *metric, *threshold)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

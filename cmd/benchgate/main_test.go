@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMinMetricCollapsesRepeatedRuns(t *testing.T) {
+	entries := []benchEntry{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 120}},
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 140}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"B/op": 64}}, // no ns/op
+	}
+	got := minMetric(entries, "ns/op")
+	if got["BenchmarkA"] != 100 {
+		t.Errorf("BenchmarkA min = %v, want 100", got["BenchmarkA"])
+	}
+	if _, ok := got["BenchmarkB"]; ok {
+		t.Errorf("BenchmarkB has no ns/op but appeared in result")
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	old := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkC": 100}
+	new := map[string]float64{"BenchmarkA": 109, "BenchmarkB": 111, "BenchmarkD": 50}
+
+	lines, failed := gate(old, new, []string{"BenchmarkA"}, "ns/op", 10)
+	if failed {
+		t.Errorf("+9%% flagged as regression: %v", lines)
+	}
+
+	lines, failed = gate(old, new, []string{"BenchmarkB"}, "ns/op", 10)
+	if !failed {
+		t.Errorf("+11%% passed the 10%% gate: %v", lines)
+	}
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "FAIL") {
+		t.Errorf("regression line = %v, want FAIL prefix", lines)
+	}
+
+	// A benchmark missing from the new results must fail, not silently pass.
+	_, failed = gate(old, new, []string{"BenchmarkC"}, "ns/op", 10)
+	if !failed {
+		t.Errorf("benchmark missing from new results passed the gate")
+	}
+	_, failed = gate(old, new, []string{"BenchmarkD"}, "ns/op", 10)
+	if !failed {
+		t.Errorf("benchmark missing from old results passed the gate")
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	old := map[string]float64{"BenchmarkA": 100}
+	new := map[string]float64{"BenchmarkA": 50}
+	lines, failed := gate(old, new, []string{"BenchmarkA"}, "ns/op", 10)
+	if failed {
+		t.Errorf("2x improvement flagged as regression: %v", lines)
+	}
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "ok") {
+		t.Errorf("improvement line = %v, want ok prefix", lines)
+	}
+}
+
+// TestReadBenchFileShapes pins that benchgate accepts both JSON shapes it
+// meets in CI: bench2json output ({"benchmarks": [...]}) and the committed
+// before/after reference file ({"before": [...], "after": [...]}), using the
+// "after" list from the latter.
+func TestReadBenchFileShapes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		t.Helper()
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	b2j := write("b2j.json", map[string]any{
+		"benchmarks": []benchEntry{{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1}}},
+	})
+	entries, err := readBenchFile(b2j)
+	if err != nil || len(entries) != 1 || entries[0].Name != "BenchmarkA" {
+		t.Errorf("bench2json shape: entries=%v err=%v", entries, err)
+	}
+
+	ref := write("ref.json", map[string]any{
+		"before": []benchEntry{{Name: "BenchmarkOld", Metrics: map[string]float64{"ns/op": 9}}},
+		"after":  []benchEntry{{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 2}}},
+	})
+	entries, err = readBenchFile(ref)
+	if err != nil || len(entries) != 1 || entries[0].Name != "BenchmarkB" {
+		t.Errorf("reference shape: entries=%v err=%v, want the after list", entries, err)
+	}
+
+	empty := write("empty.json", map[string]any{})
+	if _, err := readBenchFile(empty); err == nil {
+		t.Errorf("empty file accepted")
+	}
+}

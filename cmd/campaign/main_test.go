@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The e2e tests drive the real CLI binary: TestMain re-execs the test binary
+// as `campaign` when the env gate is set, so subprocess runs go through the
+// genuine main() — flag parsing, signal handling, exit codes — not a
+// test-only shim.
+
+const mainEnvGate = "CAMPAIGN_E2E_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(mainEnvGate) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// campaignCmd builds an *exec.Cmd that runs the CLI with the given args.
+func campaignCmd(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), mainEnvGate+"=1")
+	return cmd
+}
+
+// e2eSweepJSON is the test campaign: enough cells that a SIGINT lands before
+// the run completes with one worker, each cell long enough to give the signal
+// a window but short enough to keep the test quick.
+const e2eSweepJSON = `{
+  "name": "e2e",
+  "family": "flowchurn",
+  "scheme": "newreno",
+  "axes": [
+    {"name": "offered_load", "values": [0.125, 0.25, 0.375, 0.5]},
+    {"name": "rtt_ms", "values": [50, 100, 150]}
+  ],
+  "duration_seconds": 60,
+  "seed": 42
+}`
+
+// TestRunInterruptResumeReport is the full operational loop: run a campaign,
+// SIGINT it mid-flight, corrupt the manifest the way a crash mid-write would
+// (truncate the final line), resume, and require the resumed report —
+// report.json and report.csv — byte-identical to an uninterrupted run.
+func TestRunInterruptResumeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e subprocess test")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(spec, []byte(e2eSweepJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one uninterrupted run.
+	cleanDir := filepath.Join(dir, "clean")
+	out, err := campaignCmd(t, "run", "-spec", spec, "-out", cleanDir, "-quiet").CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean run failed: %v\n%s", err, out)
+	}
+	cleanJSON, err := os.ReadFile(filepath.Join(cleanDir, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCSV, err := os.ReadFile(filepath.Join(cleanDir, "report.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: single worker so cells drain slowly, SIGINT as soon as
+	// the first cell has checkpointed.
+	runDir := filepath.Join(dir, "run")
+	manifest := filepath.Join(runDir, "manifest-0of1.jsonl")
+	cmd := campaignCmd(t, "run", "-spec", spec, "-out", runDir, "-workers", "1", "-quiet")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if data, err := os.ReadFile(manifest); err == nil && bytes.Contains(data, []byte("\n")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared in %s\nstderr: %s", manifest, stderr.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("interrupted run exited %v, want exit code 3\nstderr: %s", err, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(runDir, "report.json")); err == nil {
+		t.Fatal("interrupted run wrote a report; it must stop at the manifest")
+	}
+
+	// Crash debris: chop the manifest mid final line, as if the process died
+	// inside a checkpoint write. Resume must drop the partial record and
+	// re-run that cell.
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Count(data, []byte("\n")) < 1 {
+		t.Fatalf("interrupted manifest has no complete record:\n%s", data)
+	}
+	cut := len(data) - len(data)/8
+	if nl := bytes.LastIndexByte(data[:cut], '\n'); nl >= 0 && nl+1 < cut {
+		// Keep the cut inside a line, not on a boundary.
+		data = data[:cut]
+	} else {
+		data = data[:cut+1]
+	}
+	if data[len(data)-1] == '\n' {
+		data = data[:len(data)-1] // guarantee the last line is partial
+	}
+	if err := os.WriteFile(manifest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume and finish.
+	out, err = campaignCmd(t, "resume", "-spec", spec, "-out", runDir, "-quiet").CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, out)
+	}
+
+	resumedJSON, err := os.ReadFile(filepath.Join(runDir, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cleanJSON, resumedJSON) {
+		t.Fatal("resumed report.json differs from the uninterrupted run")
+	}
+	resumedCSV, err := os.ReadFile(filepath.Join(runDir, "report.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cleanCSV, resumedCSV) {
+		t.Fatal("resumed report.csv differs from the uninterrupted run")
+	}
+
+	// And the report subcommand renders it.
+	out, err = campaignCmd(t, "report", filepath.Join(runDir, "report.json")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("report failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte(`campaign "e2e"`)) {
+		t.Fatalf("report output missing campaign header:\n%s", out)
+	}
+}
+
+// TestResumeWithoutManifestFails pins the resume guard: with no manifest on
+// disk, `campaign resume` must refuse rather than silently start over.
+func TestResumeWithoutManifestFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e subprocess test")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(spec, []byte(e2eSweepJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := campaignCmd(t, "resume", "-spec", spec, "-out", dir, "-quiet").CombinedOutput()
+	if err == nil {
+		t.Fatalf("resume with no manifest succeeded:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("no manifest")) {
+		t.Fatalf("resume error does not mention the missing manifest:\n%s", out)
+	}
+}

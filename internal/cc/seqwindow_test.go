@@ -1,0 +1,140 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSeqWindowVsMap drives seqWindow and a plain map[int64]sentRecord
+// through the same randomized operation stream — shaped like transport
+// traffic: a sliding sequence window with inserts at the top, cumulative
+// deletes at the bottom, scattered individual deletes, and occasional full
+// clears — and requires identical contents after every step. seqWindow is
+// the transport's hot-path replacement for that map, so any divergence here
+// is a correctness bug, not a performance detail.
+func TestSeqWindowVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w seqWindow
+	ref := map[int64]sentRecord{}
+
+	check := func(step int, lo, hi int64) {
+		t.Helper()
+		if w.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d, map has %d", step, w.Len(), len(ref))
+		}
+		// Every map entry must be present and equal; with matching counts,
+		// that also rules out phantom live records in the window.
+		for seq, want := range ref {
+			got, ok := w.get(seq)
+			if !ok {
+				t.Fatalf("step %d: get(%d) absent, map has %+v", step, seq, want)
+			}
+			if got.sentAt != want.sentAt || got.retransmitted != want.retransmitted || got.queued != want.queued {
+				t.Fatalf("step %d: get(%d)=%+v, map has %+v", step, seq, got, want)
+			}
+			if seq < w.floor() {
+				t.Fatalf("step %d: live seq %d below floor %d", step, seq, w.floor())
+			}
+		}
+		// Probe the window edges for spurious presence.
+		for seq := lo - 4; seq < lo+4; seq++ {
+			if _, ok := w.get(seq); ok != mapHas(ref, seq) {
+				t.Fatalf("step %d: get(%d) live=%v, map live=%v", step, seq, ok, mapHas(ref, seq))
+			}
+		}
+		for seq := hi - 4; seq < hi+4; seq++ {
+			if _, ok := w.get(seq); ok != mapHas(ref, seq) {
+				t.Fatalf("step %d: get(%d) live=%v, map live=%v", step, seq, ok, mapHas(ref, seq))
+			}
+		}
+	}
+
+	var cumAck, nextSeq int64
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // send new data
+			rec := sentRecord{sentAt: sim.Time(step), retransmitted: rng.Intn(4) == 0}
+			w.put(nextSeq, rec)
+			rec.live = true
+			ref[nextSeq] = rec
+			nextSeq++
+		case op < 6: // cumulative ack advance
+			if cumAck < nextSeq {
+				adv := int64(rng.Intn(8) + 1)
+				if cumAck+adv > nextSeq {
+					adv = nextSeq - cumAck
+				}
+				for seq := cumAck; seq < cumAck+adv; seq++ {
+					w.del(seq)
+					delete(ref, seq)
+				}
+				cumAck += adv
+				w.forgetBelow(cumAck)
+			}
+		case op < 8: // selective ack: delete a random in-window seq
+			if cumAck < nextSeq {
+				seq := cumAck + rng.Int63n(nextSeq-cumAck)
+				w.del(seq)
+				delete(ref, seq)
+			}
+		case op == 8 && rng.Intn(2) == 0: // go-back-N straggler: resend below cumAck
+			// After a timeout rewinds nextSeq and a late cumulative ack then
+			// overtakes it, the transport sends new data with seq < cumAck;
+			// the window must accept records below its advanced floor.
+			if cumAck > 0 {
+				seq := cumAck - rng.Int63n(min(cumAck, 6)) - 1
+				if seq >= 0 {
+					rec := sentRecord{sentAt: sim.Time(step)}
+					w.put(seq, rec)
+					rec.live = true
+					ref[seq] = rec
+				}
+			}
+		case op < 9: // mark a record queued/retransmitted in place
+			if cumAck < nextSeq {
+				seq := cumAck + rng.Int63n(nextSeq-cumAck)
+				if rec, ok := w.get(seq); ok {
+					rec.queued = true
+					w.put(seq, rec)
+					rec.live = true
+					ref[seq] = rec
+				}
+			}
+		default: // timeout or flow restart
+			w.clearAll()
+			clear(ref)
+			if rng.Intn(3) == 0 {
+				cumAck, nextSeq = 0, 0 // StartFlow: sequence space restarts
+			} else {
+				nextSeq = cumAck // go-back-N
+			}
+		}
+		check(step, cumAck, nextSeq)
+	}
+}
+
+func mapHas(m map[int64]sentRecord, seq int64) bool {
+	_, ok := m[seq]
+	return ok
+}
+
+// TestSeqWindowGrowth pins that a window spanning far more than the initial
+// ring size grows without losing or aliasing records.
+func TestSeqWindowGrowth(t *testing.T) {
+	var w seqWindow
+	const n = 10 * seqWindowMinSize
+	for seq := int64(0); seq < n; seq++ {
+		w.put(seq, sentRecord{sentAt: sim.Time(seq)})
+	}
+	if w.Len() != n {
+		t.Fatalf("Len=%d after %d puts", w.Len(), n)
+	}
+	for seq := int64(0); seq < n; seq++ {
+		rec, ok := w.get(seq)
+		if !ok || rec.sentAt != sim.Time(seq) {
+			t.Fatalf("get(%d) = %+v, %v after growth", seq, rec, ok)
+		}
+	}
+}

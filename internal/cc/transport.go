@@ -2,7 +2,6 @@ package cc
 
 import (
 	"fmt"
-	"slices"
 
 	"repro/internal/netsim"
 	"repro/internal/ring"
@@ -45,6 +44,9 @@ type sentRecord struct {
 	// queued marks packets already sitting in the retransmission queue so
 	// they are not queued twice.
 	queued bool
+	// live marks slot occupancy inside seqWindow; it is managed by the
+	// window, never by transport code.
+	live bool
 }
 
 // Transport is the generic reliable sender: it decides *when* packets may be
@@ -58,18 +60,17 @@ type Transport struct {
 
 	active bool
 
-	// Sequence state. outstanding maps by value: a sentRecord is three words,
-	// and value storage avoids allocating a record per transmitted packet.
+	// Sequence state. outstanding stores records by value in a dense
+	// seq-indexed ring (see seqWindow): outstanding sequence numbers all lie
+	// in the current send window, so indexing replaces hashing on the
+	// per-packet hot path and iteration is naturally in sequence order.
 	nextSeq     int64
 	cumAck      int64
-	outstanding map[int64]sentRecord
+	outstanding seqWindow
 	// retransmitQueue holds sequence numbers that must be resent before any
 	// new data. It is a ring rather than a head-advanced slice so recovery
 	// stays allocation-free in steady state (see internal/ring).
 	retransmitQueue ring.Ring[int64]
-	// lostScratch is reused by queuePresumedLost to sort loss candidates
-	// without allocating on every recovery event.
-	lostScratch []int64
 
 	// Loss detection.
 	dupAcks      int
@@ -115,11 +116,10 @@ func NewTransport(engine *sim.Engine, port *netsim.Port, algo Algorithm, mss int
 		mss = netsim.MTU
 	}
 	t := &Transport{
-		port:        port,
-		algo:        algo,
-		mss:         mss,
-		outstanding: make(map[int64]sentRecord),
-		rto:         initialRTO,
+		port: port,
+		algo: algo,
+		mss:  mss,
+		rto:  initialRTO,
 	}
 	t.rtoTimer = engine.NewTimer(t.onRTO)
 	t.paceTimer = engine.NewTimer(func(fireAt sim.Time) {
@@ -141,11 +141,37 @@ func (t *Transport) Stats() Stats { return t.stats }
 // call it (their counters deliberately span on periods).
 func (t *Transport) ResetStats() { t.stats = Stats{} }
 
+// Reset returns the transport to its just-constructed state for engine-pooled
+// reuse (harness.Session): wiring (port, algorithm, timers, observers) stays,
+// all per-connection state and statistics are cleared. The algorithm itself is
+// reset by the next StartFlow, exactly as on a fresh transport.
+func (t *Transport) Reset() {
+	t.active = false
+	t.rtoTimer.Stop()
+	t.paceTimer.Stop()
+	t.nextSeq = 0
+	t.cumAck = 0
+	t.outstanding.clearAll()
+	t.retransmitQueue.Clear()
+	t.dupAcks = 0
+	t.inRecovery = false
+	t.recoverUntil = 0
+	t.highestAcked = 0
+	t.srtt = 0
+	t.rttvar = 0
+	t.rto = initialRTO
+	t.hasRTT = false
+	t.minRTT = 0
+	t.lastSend = 0
+	t.pacePending = false
+	t.stats = Stats{}
+}
+
 // Active reports whether the flow currently has data to send.
 func (t *Transport) Active() bool { return t.active }
 
 // InFlight returns the number of outstanding (sent, unacknowledged) packets.
-func (t *Transport) InFlight() int { return len(t.outstanding) }
+func (t *Transport) InFlight() int { return t.outstanding.Len() }
 
 // MinRTT returns the minimum RTT observed on the current connection.
 func (t *Transport) MinRTT() sim.Time { return t.minRTT }
@@ -157,7 +183,7 @@ func (t *Transport) StartFlow(now sim.Time) {
 	t.active = true
 	t.nextSeq = 0
 	t.cumAck = 0
-	clear(t.outstanding)
+	t.outstanding.clearAll()
 	t.retransmitQueue.Clear()
 	t.dupAcks = 0
 	t.inRecovery = false
@@ -181,7 +207,7 @@ func (t *Transport) StopFlow(now sim.Time) {
 	t.rtoTimer.Stop()
 	t.paceTimer.Stop()
 	t.pacePending = false
-	clear(t.outstanding)
+	t.outstanding.clearAll()
 	t.retransmitQueue.Clear()
 }
 
@@ -200,7 +226,7 @@ func (t *Transport) maybeSend(now sim.Time) {
 		return
 	}
 	for {
-		if float64(len(t.outstanding)) >= t.effectiveWindow() {
+		if float64(t.outstanding.Len()) >= t.effectiveWindow() {
 			return
 		}
 		gap := t.algo.PacingGap()
@@ -231,9 +257,9 @@ func (t *Transport) sendOne(now sim.Time) {
 	// Pop retransmissions whose packets have since been acknowledged.
 	for t.retransmitQueue.Len() > 0 {
 		cand := t.retransmitQueue.Pop()
-		if rec, ok := t.outstanding[cand]; ok {
+		if rec, ok := t.outstanding.get(cand); ok {
 			rec.queued = false
-			t.outstanding[cand] = rec
+			t.outstanding.put(cand, rec)
 			seq = cand
 			retransmit = true
 			break
@@ -252,7 +278,7 @@ func (t *Transport) sendOne(now sim.Time) {
 	if stamper, ok := t.algo.(PacketStamper); ok {
 		stamper.StampPacket(p, now)
 	}
-	rec, ok := t.outstanding[seq]
+	rec, ok := t.outstanding.get(seq)
 	if !ok {
 		rec = sentRecord{sentAt: now}
 	} else {
@@ -263,7 +289,7 @@ func (t *Transport) sendOne(now sim.Time) {
 		rec.retransmitted = true
 		t.stats.Retransmissions++
 	}
-	t.outstanding[seq] = rec
+	t.outstanding.put(seq, rec)
 	t.stats.PacketsSent++
 	t.lastSend = now
 	if t.OnSend != nil {
@@ -278,7 +304,7 @@ func (t *Transport) armRTO(now sim.Time) {
 }
 
 func (t *Transport) onRTO(now sim.Time) {
-	if !t.active || len(t.outstanding) == 0 {
+	if !t.active || t.outstanding.Len() == 0 {
 		return
 	}
 	t.stats.Timeouts++
@@ -286,7 +312,7 @@ func (t *Transport) onRTO(now sim.Time) {
 	t.algo.OnTimeout(now)
 	// Go-back-N: everything beyond the cumulative ack is considered lost and
 	// will be resent as new data.
-	clear(t.outstanding)
+	t.outstanding.clearAll()
 	t.retransmitQueue.Clear()
 	t.nextSeq = t.cumAck
 	t.dupAcks = 0
@@ -343,14 +369,14 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 	}
 	t.stats.AcksReceived++
 
-	rec, wasOutstanding := t.outstanding[ack.Seq]
+	rec, wasOutstanding := t.outstanding.get(ack.Seq)
 	var rttSample sim.Time
 	if wasOutstanding && !rec.retransmitted {
 		rttSample = now - ack.SentAt
 		t.updateRTT(rttSample)
 	}
 	// The specific packet is no longer outstanding.
-	delete(t.outstanding, ack.Seq)
+	t.outstanding.del(ack.Seq)
 	if ack.Seq > t.highestAcked {
 		t.highestAcked = ack.Seq
 	}
@@ -359,9 +385,10 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 	if ack.CumAck > t.cumAck {
 		newly = int(ack.CumAck - t.cumAck)
 		for seq := t.cumAck; seq < ack.CumAck; seq++ {
-			delete(t.outstanding, seq)
+			t.outstanding.del(seq)
 		}
 		t.cumAck = ack.CumAck
+		t.outstanding.forgetBelow(t.cumAck)
 		t.dupAcks = 0
 		bytes := int64(newly) * int64(t.mss)
 		t.stats.BytesAcked += bytes
@@ -371,7 +398,7 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 		if t.inRecovery {
 			if t.cumAck >= t.recoverUntil {
 				t.inRecovery = false
-			} else if _, stillOut := t.outstanding[t.cumAck]; stillOut {
+			} else if _, stillOut := t.outstanding.get(t.cumAck); stillOut {
 				// Partial ACK: retransmit the next hole without signalling
 				// another loss event, and refresh the presumed-lost set so a
 				// burst of drops is repaired within about one round trip.
@@ -381,7 +408,7 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 		}
 	} else {
 		// Duplicate cumulative ACK while data is outstanding.
-		if _, holeOutstanding := t.outstanding[t.cumAck]; holeOutstanding && len(t.outstanding) > 0 {
+		if _, holeOutstanding := t.outstanding.get(t.cumAck); holeOutstanding && t.outstanding.Len() > 0 {
 			t.dupAcks++
 			if t.dupAcks == 3 && !t.inRecovery {
 				t.stats.LossEvents++
@@ -400,14 +427,14 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 		MinRTT:     t.minRTT,
 		SRTT:       t.srtt,
 		NewlyAcked: newly,
-		InFlight:   len(t.outstanding),
+		InFlight:   t.outstanding.Len(),
 		ECNEcho:    ack.ECNEcho,
 		MSS:        t.mss,
 		Ack:        ack,
 	}
 	t.algo.OnAck(ev)
 
-	if len(t.outstanding) > 0 {
+	if t.outstanding.Len() > 0 {
 		t.armRTO(now)
 	} else {
 		t.rtoTimer.Stop()
@@ -419,38 +446,33 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 // under a SACK-style rule: at least three higher sequence numbers have
 // already been acknowledged, and the packet has not been (re)sent within the
 // last smoothed RTT (to avoid retransmitting data that is merely still in
-// flight). Candidates are queued in sequence order — never in map iteration
-// order, which would make retransmission order (and therefore whole
-// simulations) nondeterministic across runs of the same seed.
+// flight). A single ascending scan from the window's floor visits every
+// outstanding record in sequence order, which keeps retransmission order
+// (and therefore whole simulations) deterministic across runs of the same
+// seed. The floor is usually the cumulative ack, but can trail it when a
+// go-back-N rewind left packets outstanding below it; the scan spans at most
+// the send window either way.
 func (t *Transport) queuePresumedLost(now sim.Time) {
 	staleAfter := t.srtt
 	if staleAfter <= 0 {
 		staleAfter = t.rto
 	}
-	lost := t.lostScratch[:0]
-	for seq, rec := range t.outstanding {
-		if rec.queued || seq+3 > t.highestAcked {
+	for seq := t.outstanding.floor(); seq+3 <= t.highestAcked; seq++ {
+		rec, ok := t.outstanding.get(seq)
+		if !ok || rec.queued || now-rec.sentAt < staleAfter {
 			continue
 		}
-		if now-rec.sentAt < staleAfter {
-			continue
-		}
-		lost = append(lost, seq)
-	}
-	slices.Sort(lost)
-	for _, seq := range lost {
 		t.queueRetransmit(seq)
 	}
-	t.lostScratch = lost[:0]
 }
 
 func (t *Transport) queueRetransmit(seq int64) {
-	rec, ok := t.outstanding[seq]
+	rec, ok := t.outstanding.get(seq)
 	if !ok || rec.queued {
 		return
 	}
 	rec.queued = true
-	t.outstanding[seq] = rec
+	t.outstanding.put(seq, rec)
 	t.retransmitQueue.Push(seq)
 }
 

@@ -1,0 +1,68 @@
+package golden
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+// TestSessionReuseMatchesFresh is the warm-start differential: for every
+// scheme on every golden topology (dumbbell, cellular trace, stress,
+// datacenter/ECN, parking lot, cross traffic, asymmetric reverse, flow
+// churn), results from one reused harness.Session must be deeply equal to
+// fresh harness.Run results at the same seeds — including a re-run of the
+// first seed after the session has executed a different one, which catches
+// any state leaking across runs. This is what licenses the campaign and
+// optimizer layers to recycle engines and sessions across thousands of
+// repetitions.
+func TestSessionReuseMatchesFresh(t *testing.T) {
+	for _, set := range DefaultScenarios() {
+		for _, c := range set.schemes {
+			set, c := set, c
+			t.Run(set.Name+"/"+c.scheme, func(t *testing.T) {
+				t.Parallel()
+				spec := set.build(c)
+				s, seed0, err := spec.Compile(nil, 0)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				seed1 := scenario.DeriveSeed(seed0, 1)
+
+				fresh0, err := harness.Run(s, seed0)
+				if err != nil {
+					t.Fatalf("fresh run seed0: %v", err)
+				}
+				fresh1, err := harness.Run(s, seed1)
+				if err != nil {
+					t.Fatalf("fresh run seed1: %v", err)
+				}
+
+				ss, err := harness.NewSession(s)
+				if err != nil {
+					t.Fatalf("NewSession: %v", err)
+				}
+				steps := []struct {
+					name string
+					seed int64
+					want harness.Result
+				}{
+					{"cold", seed0, fresh0},
+					{"warm-new-seed", seed1, fresh1},
+					{"warm-replay", seed0, fresh0},
+				}
+				for _, step := range steps {
+					got, err := ss.Run(step.seed)
+					if err != nil {
+						t.Fatalf("%s: session run: %v", step.name, err)
+					}
+					if !reflect.DeepEqual(got, step.want) {
+						t.Errorf("%s (seed %d): session result diverges from fresh run\n got: %+v\nwant: %+v",
+							step.name, step.seed, got, step.want)
+					}
+				}
+			})
+		}
+	}
+}

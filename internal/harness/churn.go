@@ -27,11 +27,14 @@ type flowState struct {
 	port      *netsim.Port
 	algoName  string
 
-	// Static-flow state: the on/off switcher and its bookkeeping.
+	// Static-flow state: the on/off switcher and its bookkeeping, plus the
+	// resolved routes the session re-attaches the port with on each run.
 	switcher  *workload.Switcher
 	onTime    sim.Time
 	lastOn    sim.Time
 	onPeriods int
+	fwd, rev  []*netsim.Link
+	oneWay    sim.Time
 
 	// Churn-flow state.
 	class     int // class index; -1 for static flows
@@ -122,6 +125,33 @@ func newChurnRuntime(s *Scenario, engine *sim.Engine, network *netsim.Network, r
 		rt.classes = append(rt.classes, cs)
 	}
 	return rt, nil
+}
+
+// reset rewinds the runtime for another session run: every flow state —
+// still-live ones were already detached by Network.Reset — returns to its
+// class pool, aggregates clear, and each class's arrival process receives the
+// new run's random stream, split from the root with the same label a fresh
+// build would use (churn class ci draws child numFlows+ci+1, after the
+// static flows' children).
+func (rt *churnRuntime) reset(rootRNG *sim.RNG, numFlows int) {
+	rt.live = 0
+	rt.err = nil
+	for _, cs := range rt.classes {
+		cs.pool = append(cs.pool, cs.live...)
+		for i := range cs.live {
+			cs.live[i] = nil
+		}
+		cs.live = cs.live[:0]
+		cs.spawned = 0
+		cs.completed = 0
+		cs.rejected = 0
+		cs.fct.Reset()
+		cs.fctSumUs = 0
+		cs.fctMinUs = 0
+		cs.fctMaxUs = 0
+		cs.agg = cc.Stats{}
+		cs.proc.Reset(rootRNG.Split(int64(numFlows) + int64(cs.index) + 1))
+	}
 }
 
 // start arms every class's arrival process.

@@ -55,8 +55,12 @@ type FlowSpec struct {
 	// Workload is the on/off offered-load process.
 	Workload workload.Spec
 	// NewAlgorithm constructs the congestion-control algorithm for this
-	// flow. It is invoked once per Run, so closures may capture per-run
-	// state (the optimizer attaches usage recorders this way).
+	// flow. It is invoked once per Session (harness.Run builds one session
+	// per call), and the instance is reused across a session's runs with
+	// Reset called at each flow start — algorithms must rewind completely in
+	// Reset, a property pinned by TestSessionReuseMatchesFresh. Closures may
+	// capture per-session state (the optimizer attaches usage recorders this
+	// way).
 	NewAlgorithm func() cc.Algorithm
 	// Path and ReversePath route the flow across a multi-link topology
 	// (Scenario.Links) by link name. They are ignored — and must be empty —
@@ -333,178 +337,16 @@ type Result struct {
 }
 
 // Run executes the scenario once with the given seed and returns per-flow
-// results. Runs with equal scenarios and seeds produce identical results.
+// results. Runs with equal scenarios and seeds produce identical results. It
+// builds a throwaway Session and runs it once; callers that execute many
+// repetitions of one scenario should hold a Session (or go through
+// scenario.Runner, which pools engines and sessions) instead.
 func Run(s Scenario, seed int64) (Result, error) {
-	if err := s.Validate(); err != nil {
-		return Result{}, err
-	}
-	engine := sim.NewEngine()
-	rootRNG := sim.NewRNG(seed)
-
-	capacity := s.QueueCapacity
-	if capacity <= 0 {
-		capacity = 1000
-	}
-	mtu := s.MTU
-	if mtu <= 0 {
-		mtu = netsim.MTU
-	}
-
-	var network *netsim.Network
-	var queues []netsim.Queue
-	if len(s.Links) > 0 {
-		n, qs, err := buildTopologyNetwork(s, engine, mtu)
-		if err != nil {
-			return Result{}, err
-		}
-		network, queues = n, qs
-	} else {
-		n, qs, err := buildBottleneckNetwork(s, engine, capacity, mtu)
-		if err != nil {
-			return Result{}, err
-		}
-		network, queues = n, qs
-	}
-	network.OnDeliver = s.OnDeliver
-	// Disciplines that drop at dequeue time (CoDel and friends) recycle those
-	// packets through the network's pool; enqueue-time drops are recycled by
-	// the port itself.
-	for _, q := range queues {
-		if hooked, ok := q.(interface{ SetDropHook(func(*netsim.Packet)) }); ok {
-			hooked.SetDropHook(network.ReleaseDropped)
-		}
-	}
-
-	flows := make([]*flowState, len(s.Flows))
-
-	for i, spec := range s.Flows {
-		fs := &flowState{class: -1}
-		flows[i] = fs
-
-		var transport *cc.Transport
-		sender := netsim.SenderFunc(func(a netsim.Ack, now sim.Time) {
-			transport.OnAck(a, now)
-		})
-		oneWay := sim.FromMillis(spec.RTTMs / 2)
-		var port *netsim.Port
-		var err error
-		if len(spec.Path) > 0 {
-			port, err = network.AttachFlowRoute(sender,
-				resolveRoute(network, spec.Path), resolveRoute(network, spec.ReversePath), oneWay)
-		} else {
-			port, err = network.AttachFlow(sender, oneWay)
-		}
-		if err != nil {
-			return Result{}, err
-		}
-
-		algo := spec.NewAlgorithm()
-		if algo == nil {
-			return Result{}, fmt.Errorf("harness: flow %d NewAlgorithm returned nil", i)
-		}
-		transport, err = cc.NewTransport(engine, port, algo, mtu)
-		if err != nil {
-			return Result{}, err
-		}
-		fs.transport = transport
-		fs.algoName = algo.Name()
-
-		switcher, err := workload.NewSwitcher(spec.Workload, engine, rootRNG.Split(int64(i)+1))
-		if err != nil {
-			return Result{}, err
-		}
-		fs.switcher = switcher
-
-		switcher.OnStart = func(now sim.Time, bytes int64) {
-			fs.lastOn = now
-			fs.onPeriods++
-			transport.StartFlow(now)
-		}
-		switcher.OnStop = func(now sim.Time) {
-			fs.onTime += now - fs.lastOn
-			transport.StopFlow(now)
-		}
-		transport.OnBytesAcked = func(now sim.Time, bytes int64) {
-			switcher.BytesDelivered(now, bytes)
-		}
-	}
-
-	// The churn runtime attaches after every static flow, so static ports
-	// keep slots 0..len(flows)-1 and the static RNG split order is unchanged
-	// — a churn-free scenario runs the byte-identical event sequence it
-	// always has.
-	churn, err := newChurnRuntime(&s, engine, network, rootRNG, mtu)
+	ss, err := NewSession(s)
 	if err != nil {
 		return Result{}, err
 	}
-
-	// Arm everything and run. Queues with an internal control loop (the XCP
-	// router) expose Start and are armed alongside the network.
-	network.Start(0)
-	for _, q := range queues {
-		if starter, ok := q.(interface{ Start(now sim.Time) }); ok {
-			starter.Start(0)
-		}
-	}
-	for _, fs := range flows {
-		fs.switcher.Start(0)
-	}
-	churn.start(0)
-	engine.Run(s.Duration)
-	if churn.err != nil {
-		return Result{}, churn.err
-	}
-
-	// Collect metrics.
-	res := Result{
-		Offered:     network.PacketsOffered(),
-		Delivered:   network.Link().Delivered(),
-		Dropped:     network.PacketsDropped(),
-		AcksDropped: network.AcksDropped(),
-	}
-	for _, l := range network.Links() {
-		res.Links = append(res.Links, LinkResult{
-			Name:           l.Name(),
-			Delivered:      l.Delivered(),
-			DeliveredBytes: l.DeliveredBytes(),
-			Drops:          l.Queue().Drops(),
-		})
-	}
-	for i, fs := range flows {
-		onTime := fs.onTime
-		if fs.switcher.State() == workload.On {
-			onTime += s.Duration - fs.lastOn
-		}
-		st := fs.transport.Stats()
-		minRTT := network.MinRTT(i)
-		meanRTT := st.MeanRTT()
-
-		var throughput float64
-		if onTime > 0 {
-			throughput = float64(st.BytesAcked) * 8 / onTime.Seconds()
-		}
-		queueing := (meanRTT - minRTT).Seconds()
-		if queueing < 0 {
-			queueing = 0
-		}
-		res.Flows = append(res.Flows, FlowResult{
-			Metrics: stats.FlowMetrics{
-				ThroughputBps: throughput,
-				AvgRTT:        meanRTT.Seconds(),
-				MinRTT:        minRTT.Seconds(),
-				QueueingDelay: queueing,
-				BytesAcked:    st.BytesAcked,
-				OnDuration:    onTime.Seconds(),
-				PacketsSent:   st.PacketsSent,
-				PacketsLost:   st.LossEvents,
-			},
-			Transport: st,
-			Algorithm: fs.algoName,
-			OnPeriods: fs.onPeriods,
-		})
-	}
-	churn.collect(&res)
-	return res, nil
+	return ss.Run(seed)
 }
 
 // resolveRoute maps link names (already validated) to the network's links.

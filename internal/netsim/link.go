@@ -91,8 +91,26 @@ func NewTraceLink(engine *sim.Engine, queue Queue, trace []sim.Time, loop bool, 
 // opportunity. Start is idempotent for fixed-rate links.
 func (l *Link) Start(now sim.Time) {
 	if l.trace != nil {
-		l.scheduleNextOpportunity(now)
+		l.scheduleNextOpportunity(now, false)
 	}
+}
+
+// reset returns the link to its just-constructed state for engine-pooled
+// reuse, handing back the packet that was mid-transmission (if any) so the
+// caller can recycle it. Any pending service event belongs to the engine
+// being reset alongside and simply never fires.
+func (l *Link) reset() *Packet {
+	p := l.serving
+	l.serving = nil
+	l.busy = false
+	l.servingTime = 0
+	l.traceIdx = 0
+	l.traceOff = 0
+	l.delivered = 0
+	l.deliveredBytes = 0
+	l.busyTime = 0
+	l.lastStart = 0
+	return p
 }
 
 // Transmission time of a packet on a fixed-rate link.
@@ -157,7 +175,11 @@ func (l *Link) serveNext(now sim.Time) {
 }
 
 // onServiceDone completes the transmission of the packet in service and
-// starts the next one (fixed-rate links only).
+// starts the next one (fixed-rate links only). During a busy period the
+// link's one service event is rearmed in place per packet rather than
+// released and rescheduled — back-to-back transmissions at a saturated
+// bottleneck, the hottest event pattern in the simulator, reuse a single
+// engine slot for the whole burst.
 func (l *Link) onServiceDone(t sim.Time) {
 	p := l.serving
 	l.serving = nil
@@ -165,10 +187,18 @@ func (l *Link) onServiceDone(t sim.Time) {
 	l.delivered++
 	l.deliveredBytes += int64(p.Size)
 	l.deliver(p, t)
-	l.serveNext(t)
+	next := l.queue.Dequeue(t)
+	if next == nil {
+		l.busy = false
+		return
+	}
+	l.lastStart = t
+	l.serving = next
+	l.servingTime = l.serviceTime(next)
+	l.engine.Rearm(t + l.servingTime)
 }
 
-func (l *Link) scheduleNextOpportunity(now sim.Time) {
+func (l *Link) scheduleNextOpportunity(now sim.Time, rearm bool) {
 	for {
 		if l.traceIdx >= len(l.trace) {
 			if !l.traceLoop {
@@ -184,18 +214,23 @@ func (l *Link) scheduleNextOpportunity(now sim.Time) {
 		if at < now {
 			continue // skip opportunities already in the past
 		}
-		l.engine.Schedule(at, l.opportunity)
+		if rearm {
+			l.engine.Rearm(at)
+		} else {
+			l.engine.Schedule(at, l.opportunity)
+		}
 		return
 	}
 }
 
 // onOpportunity serves one delivery opportunity of a trace-driven link; an
-// empty queue wastes the opportunity, exactly as in the paper's setup.
+// empty queue wastes the opportunity, exactly as in the paper's setup. The
+// opportunity event rearms itself in place for the next trace instant.
 func (l *Link) onOpportunity(t sim.Time) {
 	if p := l.queue.Dequeue(t); p != nil {
 		l.delivered++
 		l.deliveredBytes += int64(p.Size)
 		l.deliver(p, t)
 	}
-	l.scheduleNextOpportunity(t)
+	l.scheduleNextOpportunity(t, true)
 }

@@ -539,6 +539,54 @@ func (n *Network) getAckCarrier() *ackCarrier {
 	return &ackCarrier{}
 }
 
+// Reset returns the network to its just-built state for engine-pooled reuse
+// (harness.Session): links and queues stay, but every queued or in-service
+// packet is recycled, every flow slot is vacated and all counters are zeroed.
+// Ports survive detached — the owner re-attaches them (ReattachFlowRoute)
+// for the next run, which reuses their route capacity and allocates nothing.
+// The attachment-generation counter keeps counting monotonically, so a
+// pooled network can never confuse a recycled packet with a new attachment.
+//
+// Reset must run before the engine is reset: queue disciplines are drained
+// through their Dequeue path (so CoDel's dequeue-time drop hooks recycle
+// internally dropped packets), which wants a clock no earlier than the
+// packets' enqueue stamps.
+func (n *Network) Reset() {
+	now := n.engine.Now()
+	for _, l := range n.links {
+		if p := l.reset(); p != nil {
+			n.pool.put(p)
+		}
+		q := l.queue
+		for q.Len() > 0 {
+			p := q.Dequeue(now)
+			if p == nil {
+				break
+			}
+			n.pool.put(p)
+		}
+		if r, ok := q.(interface{ Reset() }); ok {
+			r.Reset()
+		}
+	}
+	for _, p := range n.flows {
+		if p == nil {
+			continue
+		}
+		p.attached = false
+		p.packetsSent = 0
+		p.bytesSent = 0
+		p.receiver.packetsReceived = 0
+		p.receiver.bytesReceived = 0
+	}
+	n.flows = n.flows[:0]
+	n.freeSlots = n.freeSlots[:0]
+	n.liveFlows = 0
+	n.packetsOffered = 0
+	n.packetsDropped = 0
+	n.acksDropped = 0
+}
+
 // ReleasePacket returns a packet to the network's pool.
 func (n *Network) ReleasePacket(p *Packet) { n.pool.put(p) }
 

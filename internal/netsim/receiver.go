@@ -12,8 +12,10 @@ import (
 type Receiver struct {
 	flow   int
 	cumAck int64
-	// received holds out-of-order sequence numbers above cumAck.
-	received map[int64]bool
+	// received holds out-of-order sequence numbers above cumAck in a bitmap
+	// window ring (see recvWindow) — the per-packet receive path never
+	// touches a hash table.
+	received recvWindow
 
 	packetsReceived int64
 	bytesReceived   int64
@@ -21,7 +23,7 @@ type Receiver struct {
 
 // NewReceiver creates a receiver for the given flow id.
 func NewReceiver(flow int) *Receiver {
-	return &Receiver{flow: flow, received: make(map[int64]bool)}
+	return &Receiver{flow: flow}
 }
 
 // Flow returns the receiver's flow id.
@@ -42,17 +44,14 @@ func (r *Receiver) BytesReceived() int64 { return r.bytesReceived }
 func (r *Receiver) Receive(p *Packet, now sim.Time) Ack {
 	r.packetsReceived++
 	r.bytesReceived += int64(p.Size)
-	if p.Seq == r.cumAck && len(r.received) == 0 {
+	if p.Seq == r.cumAck && r.received.empty() {
 		// In-order fast path: no out-of-order state to reconcile, so the
-		// cumulative ack advances without touching the map at all.
+		// cumulative ack advances without touching the window at all.
 		r.cumAck++
-	} else if p.Seq >= r.cumAck && !r.received[p.Seq] {
-		r.received[p.Seq] = true
+	} else if p.Seq >= r.cumAck && !r.received.has(p.Seq) {
+		r.received.set(p.Seq)
 		// Advance the cumulative ack over any now-contiguous prefix.
-		for r.received[r.cumAck] {
-			delete(r.received, r.cumAck)
-			r.cumAck++
-		}
+		r.cumAck = r.received.advanceFrom(r.cumAck)
 	}
 	ack := Ack{
 		Flow:       p.Flow,
@@ -73,5 +72,5 @@ func (r *Receiver) Receive(p *Packet, now sim.Time) Ack {
 // paper's RemyCCs and TCP alike start each connection from scratch.
 func (r *Receiver) Reset() {
 	r.cumAck = 0
-	clear(r.received)
+	r.received.clearAll()
 }

@@ -98,6 +98,27 @@ func churnFlowSpecs(classes []ChurnClassSpec) []FlowSpec {
 	return out
 }
 
+// RepInvariant reports whether the spec compiles to the same executable
+// scenario for every repetition. Only synthesized link traces vary across
+// repetitions (a trace *model* generates a fresh trace per rep from a
+// rep-derived seed); fixed-rate links and explicit traces compile
+// identically for every rep, so the Runner can build one reusable
+// harness.Session per spec and vary only the seed.
+func (s Spec) RepInvariant() bool {
+	if s.Topology != nil {
+		for _, l := range s.Topology.Links {
+			if l.Model != "" && l.Model != "fixed" {
+				return false
+			}
+		}
+		return true
+	}
+	if len(s.Link.Trace) > 0 {
+		return true
+	}
+	return s.Link.Model == "" || s.Link.Model == "fixed"
+}
+
 // Compile resolves the spec's names against the registry and materializes the
 // executable scenario for one repetition, together with the repetition's
 // derived seed. Trace-driven link models synthesize a fresh trace per

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/harness"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -78,29 +79,107 @@ func (r Runner) logf(format string, args ...any) {
 	}
 }
 
-// run executes one (spec, repetition) unit.
-func (r Runner) run(specIndex, rep int, spec *Spec) Result {
-	out := Result{SpecIndex: specIndex, Rep: rep, SpecName: spec.Name}
-	scn, seed, err := spec.Compile(r.registry(), rep)
-	if err != nil {
-		out.Err = err
-		return out
+// enginePool recycles simulation engines across runs and Runner instances.
+// A pooled engine carries warm slab, free-list and calendar-bucket capacity
+// from earlier runs, so a steady-state campaign's per-run setup allocates
+// (almost) nothing. A plain mutex-guarded free list is used instead of
+// sync.Pool deliberately: sync.Pool may drop entries at any GC, which would
+// silently reintroduce cold-start allocations mid-campaign (and flake the
+// allocation regression tests that pin the warm path).
+var enginePool struct {
+	mu   sync.Mutex
+	free []*sim.Engine
+}
+
+func acquireEngine() *sim.Engine {
+	enginePool.mu.Lock()
+	defer enginePool.mu.Unlock()
+	if n := len(enginePool.free); n > 0 {
+		e := enginePool.free[n-1]
+		enginePool.free[n-1] = nil
+		enginePool.free = enginePool.free[:n-1]
+		return e
 	}
-	out.Seed = seed
-	res, err := harness.Run(scn, seed)
+	return sim.NewEngine()
+}
+
+func releaseEngine(e *sim.Engine) {
+	if e == nil {
+		return
+	}
+	enginePool.mu.Lock()
+	enginePool.free = append(enginePool.free, e)
+	enginePool.mu.Unlock()
+}
+
+// task is one (spec, repetition) unit of work.
+type task struct {
+	si, rep int
+	spec    *Spec
+}
+
+// runCache is one worker's warm state: a pooled engine, and — for
+// rep-invariant specs — the session built for the spec it is currently
+// draining, reused across that spec's repetitions with only the seed varying.
+// Specs whose compiled scenario differs per rep (synthesized link traces)
+// rebuild the session each rep but still reuse the pooled engine underneath.
+type runCache struct {
+	engine    *sim.Engine
+	spec      *Spec
+	session   *harness.Session
+	invariant bool
+}
+
+func (c *runCache) release() {
+	releaseEngine(c.engine)
+	c.engine = nil
+	c.spec = nil
+	c.session = nil
+}
+
+// runTask executes one repetition through the worker's cache.
+func (r Runner) runTask(c *runCache, t task) Result {
+	out := Result{SpecIndex: t.si, Rep: t.rep, SpecName: t.spec.Name}
+	if c.session == nil || c.spec != t.spec || !c.invariant {
+		scn, seed, err := t.spec.Compile(r.registry(), t.rep)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.Seed = seed
+		if c.engine == nil {
+			c.engine = acquireEngine()
+		}
+		ss, err := harness.NewSessionOn(c.engine, scn)
+		if err != nil {
+			c.spec = nil
+			c.session = nil
+			out.Err = fmt.Errorf("scenario: spec %q rep %d: %w", t.spec.Name, t.rep, err)
+			return out
+		}
+		c.spec = t.spec
+		c.session = ss
+		c.invariant = t.spec.RepInvariant()
+	} else {
+		out.Seed = DeriveSeed(t.spec.Seed, t.rep)
+	}
+	res, err := c.session.Run(out.Seed)
 	if err != nil {
-		out.Err = fmt.Errorf("scenario: spec %q rep %d: %w", spec.Name, rep, err)
+		out.Err = fmt.Errorf("scenario: spec %q rep %d: %w", t.spec.Name, t.rep, err)
 		return out
 	}
 	out.Res = res
-	if !spec.SkipSummaries {
+	if !t.spec.SkipSummaries {
 		out.summarize()
 	}
 	return out
 }
 
-// Stream executes every repetition of every spec across the worker pool and
-// streams results over the returned channel as they complete. Completion
+// Stream executes every repetition of every spec across a fixed pool of
+// worker goroutines and streams results over the returned channel as they
+// complete. Each worker owns one pooled engine for its lifetime and reuses
+// sessions across a rep-invariant spec's repetitions, so steady-state
+// campaigns run with warm-start (near-zero) per-rep allocation. Completion
 // order depends on scheduling, but each Result is deterministic for its
 // (spec, rep) pair; use RunAll for a deterministic ordering. The channel
 // closes after the last result.
@@ -112,11 +191,35 @@ func (r Runner) run(specIndex, rep int, spec *Spec) Result {
 // producer and workers leak, blocked on their sends forever.
 func (r Runner) Stream(done <-chan struct{}, specs []Spec) <-chan Result {
 	out := make(chan Result)
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cache runCache
+			defer cache.release()
+			for t := range tasks {
+				select {
+				case <-done:
+					// Cancelled between dispatch and start; skip the run.
+					return
+				default:
+				}
+				select {
+				case out <- r.runTask(&cache, t):
+				case <-done:
+					// The consumer gave up; drop the result so the worker
+					// (and the producer waiting on wg) can exit.
+					return
+				}
+			}
+		}()
+	}
 	go func() {
 		defer close(out)
-		sem := make(chan struct{}, r.workers())
-		var wg sync.WaitGroup
 		defer wg.Wait()
+		defer close(tasks)
 		for si := range specs {
 			spec := &specs[si]
 			reps := spec.Reps()
@@ -125,25 +228,8 @@ func (r Runner) Stream(done <-chan struct{}, specs []Spec) <-chan Result {
 				select {
 				case <-done:
 					return
-				case sem <- struct{}{}:
+				case tasks <- task{si: si, rep: rep, spec: spec}:
 				}
-				wg.Add(1)
-				go func(si, rep int, spec *Spec) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					select {
-					case <-done:
-						// Cancelled between dispatch and start; skip the run.
-						return
-					default:
-					}
-					select {
-					case out <- r.run(si, rep, spec):
-					case <-done:
-						// The consumer gave up; drop the result so the
-						// worker (and the producer waiting on wg) can exit.
-					}
-				}(si, rep, spec)
 			}
 		}
 	}()

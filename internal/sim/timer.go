@@ -23,10 +23,11 @@ func (e *Engine) NewTimer(fn func(now Time)) *Timer {
 }
 
 // Schedule arms the timer to fire at the absolute time at, canceling any
-// pending firing.
+// pending firing. Re-arming goes through Engine.Reschedule, so a timer that
+// waits in the calendar's overflow rung (the RTO pushed back on every ACK)
+// is moved in place instead of leaving a lazily-canceled corpse per arming.
 func (t *Timer) Schedule(at Time) {
-	t.engine.Cancel(t.id)
-	t.id = t.engine.Schedule(at, t.fn)
+	t.id = t.engine.Reschedule(t.id, at, t.fn)
 }
 
 // ScheduleAfter arms the timer to fire after delay from now, canceling any

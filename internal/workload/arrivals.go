@@ -81,6 +81,14 @@ func NewArrivalProcess(spec ArrivalSpec, engine *sim.Engine, rng *sim.RNG) (*Arr
 	return a, nil
 }
 
+// Reset returns the process to its just-constructed state for engine-pooled
+// reuse (harness.Session), installing the random stream for the next run.
+func (a *ArrivalProcess) Reset(rng *sim.RNG) {
+	a.timer.Stop()
+	a.rng = rng
+	a.arrivals = 0
+}
+
 // Arrivals returns the number of arrivals so far.
 func (a *ArrivalProcess) Arrivals() int64 { return a.arrivals }
 

@@ -130,6 +130,21 @@ func NewSwitcher(spec Spec, engine *sim.Engine, rng *sim.RNG) (*Switcher, error)
 	return s, nil
 }
 
+// Reset returns the switcher to its just-constructed state for engine-pooled
+// reuse (harness.Session), installing the random stream for the next run.
+// Spec, engine, timers and callbacks are kept; any pending transition events
+// belong to the engine being reset alongside and never fire.
+func (s *Switcher) Reset(rng *sim.RNG) {
+	s.onTimer.Stop()
+	s.offTimer.Stop()
+	s.rng = rng
+	s.state = Off
+	s.onStarted = 0
+	s.bytesTarget = 0
+	s.timeTarget = 0
+	s.transitions = 0
+}
+
 // State returns the current on/off state.
 func (s *Switcher) State() State { return s.state }
 
