@@ -73,7 +73,12 @@ run/resume flags:
   -shard i/N        run only cells with index ≡ i (mod N)
   -workers n        concurrent cells (default NumCPU-1)
   -inner-workers n  concurrent repetitions per cell (default 1)
+  -cell-timeout d   wall-clock watchdog per cell attempt (e.g. 5m; 0 = none)
+  -retries n        extra attempts before a failing cell is quarantined (default 1)
   -quiet            suppress per-cell progress
+
+exit codes: 0 success, 2 usage, 3 interrupted (resume to continue),
+4 completed with quarantined cells (see the report's failed_cells section)
 `)
 }
 
@@ -115,6 +120,8 @@ func cmdRun(args []string, requireManifest bool) error {
 	fs.Var(&shard, "shard", "i/N: run only cells with index ≡ i (mod N)")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = NumCPU-1)")
 	inner := fs.Int("inner-workers", 0, "concurrent repetitions per cell (0 = 1)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "wall-clock watchdog per cell attempt (0 = none)")
+	retries := fs.Int("retries", 1, "extra attempts before a failing cell is quarantined")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress")
 	fs.Parse(args)
 	if *specFile == "" {
@@ -151,6 +158,8 @@ func cmdRun(args []string, requireManifest bool) error {
 	exec := campaign.Executor{
 		Workers:      *workers,
 		InnerWorkers: *inner,
+		CellTimeout:  *cellTimeout,
+		Retries:      *retries,
 	}
 	if !*quiet {
 		exec.Logf = log.Printf
@@ -173,9 +182,31 @@ func cmdRun(args []string, requireManifest bool) error {
 	// A whole-campaign run (no sharding) consolidates immediately; sharded
 	// runs wait for merge-shards.
 	if shard.numShards <= 1 {
-		return writeReport(sweep, records, *outDir)
+		if err := writeReport(sweep, records, *outDir); err != nil {
+			return err
+		}
+	}
+	// The run itself succeeded, but quarantined cells make the outcome
+	// partial: name them and exit non-zero so scripts notice.
+	if failed := failedRecords(records); len(failed) > 0 {
+		log.Printf("campaign: %d cell(s) failed and were quarantined:", len(failed))
+		for _, rec := range failed {
+			log.Printf("campaign:   %s (attempts %d): %s", rec.ID, rec.Attempts, rec.Failure)
+		}
+		os.Exit(4)
 	}
 	return nil
+}
+
+// failedRecords filters the quarantined cells of a record set.
+func failedRecords(records []campaign.CellRecord) []campaign.CellRecord {
+	var out []campaign.CellRecord
+	for _, rec := range records {
+		if rec.Failure != "" {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 func cmdMerge(args []string) error {
@@ -258,6 +289,12 @@ func cmdReport(args []string) error {
 		fmt.Printf("%-56s %10.3f %10.2f %9.3f %7.1f ms %7.1f ms %7.1f ms\n",
 			c.ID, a.ThroughputMbps.Mean, a.QueueDelayMs.Mean, a.UtilityMean,
 			a.FCT.MeanMs, a.FCT.P95Ms, a.FCT.P99Ms)
+	}
+	if len(rep.FailedCells) > 0 {
+		fmt.Printf("failed cells (%d, quarantined):\n", len(rep.FailedCells))
+		for _, fc := range rep.FailedCells {
+			fmt.Printf("  %-54s attempts %d: %s\n", fc.ID, fc.Attempts, fc.Failure)
+		}
 	}
 	return nil
 }

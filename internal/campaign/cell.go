@@ -207,6 +207,10 @@ func (c Cell) Spec() (scenario.Spec, error) {
 			cfg.RateScale = mustFloat(co.Value)
 		case AxisBufferPackets:
 			cfg.BufferPackets = int(mustFloat(co.Value))
+		case AxisOutageS:
+			cfg.OutageSeconds = mustFloat(co.Value)
+		case AxisBurstLoss:
+			cfg.BurstLoss = mustFloat(co.Value)
 		default:
 			return scenario.Spec{}, fmt.Errorf("campaign: cell %q has unknown axis %q", c.ID, co.Axis)
 		}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -35,8 +36,22 @@ type Executor struct {
 	// per-repetition results, in repetition order, before they are discarded.
 	// Calls are serialized but cell order follows completion, which is
 	// scheduling-dependent. Resumed (manifest-restored) cells are NOT
-	// replayed — their per-rep results no longer exist.
+	// replayed — their per-rep results no longer exist. Quarantined (failed)
+	// cells are not observed either: they have no results.
 	OnCell func(cell Cell, results []scenario.Result)
+	// CellTimeout, when positive, bounds each cell attempt's wall-clock time.
+	// An attempt that exceeds it is cancelled and — because a wedged
+	// simulation cannot be forcibly killed — abandoned: its goroutine is left
+	// to die when (if) it returns, and the cell counts as failed for that
+	// attempt.
+	CellTimeout time.Duration
+	// Retries is how many additional attempts a failed cell gets before it is
+	// quarantined. Every attempt runs the identical spec and seed — cells are
+	// deterministic units, so retries only help against environmental
+	// failures (the chaos tests inject nondeterministic ones deliberately).
+	Retries int
+	// RetryBackoff is the pause before each retry (default 100 ms).
+	RetryBackoff time.Duration
 }
 
 // RunOptions selects the slice of the campaign one process executes and how
@@ -72,6 +87,13 @@ func (e Executor) innerWorkers() int {
 		return e.InnerWorkers
 	}
 	return 1
+}
+
+func (e Executor) retryBackoff() time.Duration {
+	if e.RetryBackoff > 0 {
+		return e.RetryBackoff
+	}
+	return 100 * time.Millisecond
 }
 
 func (e Executor) logf(format string, args ...any) {
@@ -331,11 +353,15 @@ func (e Executor) runPending(sweep *SweepSpec, pending []int, opts RunOptions) (
 				continue
 			}
 		}
-		if e.OnCell != nil {
+		if e.OnCell != nil && d.rec.Failure == "" {
 			e.OnCell(d.cell, d.results)
 		}
 		fresh = append(fresh, d.rec)
-		e.logf("campaign: cell %q done (%d reps, %d flows completed)", d.rec.ID, d.rec.Aggregate.Reps, d.rec.Aggregate.FlowsCompleted)
+		if d.rec.Failure != "" {
+			e.logf("campaign: cell %q quarantined after %d attempt(s): %s", d.rec.ID, d.rec.Attempts, d.rec.Failure)
+		} else {
+			e.logf("campaign: cell %q done (%d reps, %d flows completed)", d.rec.ID, d.rec.Aggregate.Reps, d.rec.Aggregate.FlowsCompleted)
+		}
 	}
 	if firstErr != nil {
 		return fresh, firstErr
@@ -349,35 +375,122 @@ func (e Executor) runPending(sweep *SweepSpec, pending []int, opts RunOptions) (
 }
 
 // runCell materializes and executes one cell, folding its repetitions — in
-// repetition order — into the O(1) aggregate.
+// repetition order — into the O(1) aggregate. A cell whose attempts all fail
+// (panic, error, watchdog timeout) does not abort the campaign: it comes back
+// as a quarantine record (Failure set, zero aggregate) that is checkpointed
+// like any other, so a resume skips the known-bad cell. Only interruption and
+// infrastructure errors (a broken sweep) propagate as errors.
 func (e Executor) runCell(sweep *SweepSpec, idx int, stop <-chan struct{}) (Cell, CellRecord, []scenario.Result, error) {
 	cell, err := sweep.Cell(idx)
 	if err != nil {
 		return cell, CellRecord{}, nil, err
 	}
-	spec, err := cell.Spec()
-	if err != nil {
-		return cell, CellRecord{}, nil, err
+	spec, specErr := cell.Spec()
+	if specErr != nil {
+		// Materialization is deterministic; retrying cannot help.
+		return cell, failedRecordFor(sweep.Name, cell, "", specErr, 1), nil, nil
 	}
-	reps := spec.Reps()
-	runner := scenario.Runner{Registry: e.Registry, Workers: e.innerWorkers()}
-	results := make([]scenario.Result, reps)
-	got := 0
-	for res := range runner.Stream(stop, []scenario.Spec{spec}) {
-		if res.Err != nil {
-			// Abandon the stream; the cancellation-aware Stream reaps its
-			// workers once stop closes (the collector closes it on error).
-			return cell, CellRecord{}, nil, fmt.Errorf("campaign: cell %q: %w", cell.ID, res.Err)
+	attempts := 1 + e.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			e.logf("campaign: cell %q attempt %d/%d after: %v", cell.ID, a, attempts, lastErr)
+			select {
+			case <-time.After(e.retryBackoff()):
+			case <-stop:
+				return cell, CellRecord{}, nil, ErrInterrupted
+			}
 		}
-		results[res.Rep] = res
-		got++
+		results, err := e.attemptCell(cell, spec, stop)
+		if err == nil {
+			agg := newCellAggregator()
+			for _, res := range results {
+				agg.fold(res)
+			}
+			rec := recordFor(sweep.Name, cell, spec.Name, agg.finalize())
+			if a > 1 {
+				rec.Attempts = a
+			}
+			return cell, rec, results, nil
+		}
+		if errors.Is(err, ErrInterrupted) {
+			return cell, CellRecord{}, nil, ErrInterrupted
+		}
+		lastErr = err
 	}
-	if got < reps {
-		return cell, CellRecord{}, nil, ErrInterrupted
+	return cell, failedRecordFor(sweep.Name, cell, spec.Name, lastErr, attempts), nil, nil
+}
+
+// attemptCell executes one attempt of a cell under the watchdog. The cell's
+// repetitions run on an inner scenario.Runner pool driven from a separate
+// goroutine; if the watchdog fires first, the attempt's stop channel is
+// closed (reaping every repetition that still checks it) and the goroutine is
+// abandoned — a repetition wedged inside a single sim run never observes
+// cancellation, and abandoning it is the only way to keep the campaign alive.
+func (e Executor) attemptCell(cell Cell, spec scenario.Spec, stop <-chan struct{}) ([]scenario.Result, error) {
+	cellStop := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(cellStop) }) }
+	defer cancel()
+	fwd := make(chan struct{})
+	defer close(fwd)
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-fwd:
+		}
+	}()
+
+	type outcome struct {
+		results []scenario.Result
+		err     error
 	}
-	agg := newCellAggregator()
-	for _, res := range results {
-		agg.fold(res)
+	done := make(chan outcome, 1)
+	go func() {
+		reps := spec.Reps()
+		runner := scenario.Runner{Registry: e.Registry, Workers: e.innerWorkers()}
+		results := make([]scenario.Result, reps)
+		got := 0
+		var firstErr error
+		for res := range runner.Stream(cellStop, []scenario.Spec{spec}) {
+			if res.Err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("campaign: cell %q: %w", cell.ID, res.Err)
+				}
+				cancel()
+				continue
+			}
+			results[res.Rep] = res
+			got++
+		}
+		switch {
+		case firstErr != nil:
+			done <- outcome{err: firstErr}
+		case got < reps:
+			done <- outcome{err: ErrInterrupted}
+		default:
+			done <- outcome{results: results}
+		}
+	}()
+
+	var timeout <-chan time.Time
+	if e.CellTimeout > 0 {
+		timer := time.NewTimer(e.CellTimeout)
+		defer timer.Stop()
+		timeout = timer.C
 	}
-	return cell, recordFor(sweep.Name, cell, spec.Name, agg.finalize()), results, nil
+	select {
+	case o := <-done:
+		return o.results, o.err
+	case <-stop:
+		cancel()
+		return nil, ErrInterrupted
+	case <-timeout:
+		cancel()
+		return nil, fmt.Errorf("campaign: cell %q exceeded the %v cell timeout; attempt abandoned", cell.ID, e.CellTimeout)
+	}
 }

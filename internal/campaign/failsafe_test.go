@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// chaosSpec builds a one-flow explicit spec running the given scheme; the
+// chaos schemes inject their failure the moment the flow starts.
+func chaosSpec(name, scheme string) scenario.Spec {
+	w := scenario.ByTimeWorkload(scenario.ConstantDist(10), scenario.ConstantDist(1))
+	w.StartOn = true
+	return scenario.New(
+		scenario.WithName(name),
+		scenario.WithLink(5e6),
+		scenario.WithDuration(0.3),
+		scenario.WithSeed(7),
+		scenario.WithFlow(scenario.FlowSpec{Scheme: scheme, RTTMs: 50, Workload: w}),
+	)
+}
+
+// chaosSweep mixes two healthy cells with a panicking and a hanging one.
+func chaosSweep() SweepSpec {
+	return SweepSpec{
+		Name: "chaos",
+		Specs: []scenario.Spec{
+			chaosSpec("good-a", "newreno"),
+			chaosSpec("boom", "chaos/panic"),
+			chaosSpec("wedge", "chaos/hang"),
+			chaosSpec("good-b", "cubic"),
+		},
+	}
+}
+
+// TestFailSafeQuarantineAndResume is the fail-safe contract end to end: a
+// campaign containing a genuinely panicking cell and a genuinely hanging cell
+// finishes instead of dying, retries each failing cell the configured number
+// of times, quarantines both in the manifest, resumes past them without
+// re-running anything, and builds a report whose failed_cells section names
+// them while the healthy cells' numbers survive intact.
+func TestFailSafeQuarantineAndResume(t *testing.T) {
+	sweep := chaosSweep()
+	manifest := filepath.Join(t.TempDir(), "manifest.jsonl")
+	e := Executor{
+		Workers:      2,
+		CellTimeout:  300 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+	}
+	records, err := e.Run(sweep, RunOptions{ManifestPath: manifest})
+	if err != nil {
+		t.Fatalf("Run returned %v; failing cells must quarantine, not abort", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4 (failed cells must still produce records)", len(records))
+	}
+	byID := make(map[string]CellRecord, len(records))
+	for _, rec := range records {
+		byID[rec.ID] = rec
+	}
+	boom := byID["spec[1]=boom"]
+	if !strings.Contains(boom.Failure, scenario.ChaosPanicMessage) {
+		t.Errorf("panic cell failure %q does not name the injected panic", boom.Failure)
+	}
+	wedge := byID["spec[2]=wedge"]
+	if !strings.Contains(wedge.Failure, "cell timeout") {
+		t.Errorf("hang cell failure %q does not name the watchdog timeout", wedge.Failure)
+	}
+	for _, id := range []string{"spec[1]=boom", "spec[2]=wedge"} {
+		if got := byID[id].Attempts; got != 2 {
+			t.Errorf("%s ran %d attempts, want 2 (one retry)", id, got)
+		}
+		if byID[id].Aggregate.Reps != 0 {
+			t.Errorf("%s has a non-zero aggregate despite failing", id)
+		}
+	}
+	for _, id := range []string{"spec[0]=good-a", "spec[3]=good-b"} {
+		rec := byID[id]
+		if rec.Failure != "" {
+			t.Errorf("healthy cell %s marked failed: %s", id, rec.Failure)
+		}
+		if rec.Aggregate.Reps == 0 {
+			t.Errorf("healthy cell %s has an empty aggregate", id)
+		}
+	}
+
+	// The quarantine must be persisted: the manifest carries all four records,
+	// failures included.
+	persisted, err := ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(persisted) != 4 {
+		t.Fatalf("manifest has %d records, want 4", len(persisted))
+	}
+
+	// Resume: a second run over the same manifest executes nothing — the
+	// known-bad cells are skipped along with the finished ones.
+	reran := 0
+	resume := e
+	resume.OnCell = func(Cell, []scenario.Result) { reran++ }
+	again, err := resume.Run(sweep, RunOptions{ManifestPath: manifest})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if reran != 0 {
+		t.Errorf("resume re-executed %d cells; quarantined cells must be skipped", reran)
+	}
+	if !reflect.DeepEqual(records, again) {
+		t.Error("resumed record set differs from the original run")
+	}
+
+	// The report degrades gracefully: healthy cells report, failed cells are
+	// named, nothing errors.
+	rep, err := BuildReport(sweep, records)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	if len(rep.Cells) != 2 || rep.Totals.Cells != 2 {
+		t.Errorf("report has %d cells (totals %d), want the 2 healthy ones", len(rep.Cells), rep.Totals.Cells)
+	}
+	if rep.Totals.FailedCells != 2 || len(rep.FailedCells) != 2 {
+		t.Fatalf("report names %d failed cells (totals %d), want 2", len(rep.FailedCells), rep.Totals.FailedCells)
+	}
+	if rep.FailedCells[0].ID != "spec[1]=boom" || rep.FailedCells[1].ID != "spec[2]=wedge" {
+		t.Errorf("failed_cells = %+v; want boom then wedge in index order", rep.FailedCells)
+	}
+	for _, fc := range rep.FailedCells {
+		if fc.Failure == "" || fc.Attempts != 2 {
+			t.Errorf("failed cell %s lacks failure detail: %+v", fc.ID, fc)
+		}
+	}
+}
+
+// TestPanicRecoveryKeepsOtherReps pins the narrower property underneath the
+// campaign behavior: a panicking repetition surfaces as Result.Err from the
+// scenario runner, and does not take the process (or the other spec) down.
+func TestPanicRecoveryIsolatesRepetition(t *testing.T) {
+	r := scenario.Runner{Workers: 2}
+	results, err := r.RunAll([]scenario.Spec{chaosSpec("boom", "chaos/panic"), chaosSpec("ok", "newreno")})
+	if err == nil {
+		t.Fatal("expected the panicking spec's error to surface")
+	}
+	if !strings.Contains(err.Error(), scenario.ChaosPanicMessage) {
+		t.Errorf("error %q does not carry the panic message", err)
+	}
+	var okRes, boomRes int
+	for _, res := range results {
+		switch res.SpecName {
+		case "ok":
+			if res.Err == nil && res.Res.Delivered > 0 {
+				okRes++
+			}
+		case "boom":
+			if res.Err != nil {
+				boomRes++
+			}
+		}
+	}
+	if okRes == 0 {
+		t.Error("healthy spec produced no successful repetitions alongside the panic")
+	}
+	if boomRes == 0 {
+		t.Error("panicking spec produced no errored repetitions")
+	}
+}

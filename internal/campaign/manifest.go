@@ -28,6 +28,14 @@ type CellRecord struct {
 	Seed      int64         `json:"seed"`
 	SpecName  string        `json:"spec_name"`
 	Aggregate CellAggregate `json:"aggregate"`
+	// Failure, when non-empty, marks a quarantined cell: every attempt
+	// failed (panic, error, or watchdog timeout) and Aggregate is zero. The
+	// record still checkpoints like any other, so a resumed run skips the
+	// known-bad cell instead of dying on it again.
+	Failure string `json:"failure,omitempty"`
+	// Attempts is how many times the cell was tried (successes record it too
+	// when a retry was needed; omitted when the first attempt succeeded).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // recordFor assembles the manifest record for a completed cell.
@@ -44,6 +52,15 @@ func recordFor(sweepName string, cell Cell, specName string, agg CellAggregate) 
 		SpecName:  specName,
 		Aggregate: agg,
 	}
+}
+
+// failedRecordFor assembles the quarantine record for a cell whose every
+// attempt failed.
+func failedRecordFor(sweepName string, cell Cell, specName string, cause error, attempts int) CellRecord {
+	rec := recordFor(sweepName, cell, specName, CellAggregate{})
+	rec.Failure = cause.Error()
+	rec.Attempts = attempts
+	return rec
 }
 
 // AppendRecord writes one manifest line (compact JSON + newline).

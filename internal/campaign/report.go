@@ -20,25 +20,44 @@ type Totals struct {
 	FlowsSpawned   int64 `json:"flows_spawned"`
 	FlowsCompleted int64 `json:"flows_completed"`
 	FlowsRejected  int64 `json:"flows_rejected"`
+	// FailedCells counts quarantined cells (omitted when the campaign was
+	// clean, keeping pre-fault report bytes identical).
+	FailedCells int `json:"failed_cells,omitempty"`
+}
+
+// FailedCell names one quarantined cell in the report: identity plus the
+// final failure and how many attempts it got.
+type FailedCell struct {
+	Index    int    `json:"index"`
+	ID       string `json:"id"`
+	Failure  string `json:"failure"`
+	Attempts int    `json:"attempts,omitempty"`
 }
 
 // Report is the consolidated campaign artifact: one record per cell in
 // canonical index order plus campaign totals. Encoding is deterministic —
 // the same set of cell records produces the same bytes whether they came
-// from one process or the union of shard manifests.
+// from one process or the union of shard manifests. A campaign with
+// quarantined cells still reports: the good cells appear in Cells as usual
+// and the bad ones are named in FailedCells instead of erroring the build.
 type Report struct {
 	Version     int          `json:"version"`
 	Campaign    string       `json:"campaign"`
 	Description string       `json:"description,omitempty"`
 	Totals      Totals       `json:"totals"`
 	Cells       []CellRecord `json:"cells"`
+	FailedCells []FailedCell `json:"failed_cells,omitempty"`
 }
 
 // BuildReport assembles the consolidated report from a complete record set
 // (one process's run, or several shards' manifests concatenated). Records
 // are verified for campaign identity, deduplicated when byte-equal in
 // identity (a resumed shard may re-report cells), checked for conflicts, and
-// required to cover every cell exactly once.
+// required to cover every cell exactly once. Quarantine records count as
+// coverage: the report degrades gracefully with a failed_cells section
+// rather than erroring, so one bad cell never costs the rest of the
+// campaign's numbers. Cells with no record at all (an unfinished shard)
+// still fail the build.
 func BuildReport(sweep SweepSpec, records []CellRecord) (Report, error) {
 	if err := sweep.Validate(); err != nil {
 		return Report{}, err
@@ -52,12 +71,17 @@ func BuildReport(sweep SweepSpec, records []CellRecord) (Report, error) {
 			if prev.ID != rec.ID || prev.Seed != rec.Seed {
 				return Report{}, fmt.Errorf("campaign: conflicting records for cell index %d (%q vs %q)", rec.Index, prev.ID, rec.ID)
 			}
-			continue
+			// A successful record supersedes a quarantine record for the same
+			// cell (a later run may have gotten past a transient failure).
+			if prev.Failure == "" || rec.Failure != "" {
+				continue
+			}
 		}
 		byIndex[rec.Index] = rec
 	}
 	n := sweep.NumCells()
 	cells := make([]CellRecord, 0, n)
+	var failed []FailedCell
 	var missing []string
 	for i := 0; i < n; i++ {
 		rec, ok := byIndex[i]
@@ -77,6 +101,10 @@ func BuildReport(sweep SweepSpec, records []CellRecord) (Report, error) {
 			return Report{}, fmt.Errorf("campaign: record for index %d (%q, seed %d) does not match the sweep (%q, seed %d)",
 				i, rec.ID, rec.Seed, cell.ID, cell.Seed)
 		}
+		if rec.Failure != "" {
+			failed = append(failed, FailedCell{Index: rec.Index, ID: rec.ID, Failure: rec.Failure, Attempts: rec.Attempts})
+			continue
+		}
 		cells = append(cells, rec)
 	}
 	if len(missing) > 0 {
@@ -86,11 +114,13 @@ func BuildReport(sweep SweepSpec, records []CellRecord) (Report, error) {
 		return Report{}, fmt.Errorf("campaign: report incomplete: %d of %d cells missing (%v); run the remaining shards or resume", n-len(byIndex), n, missing)
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Index < cells[j].Index })
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Index < failed[j].Index })
 	rep := Report{
 		Version:     ReportVersion,
 		Campaign:    sweep.Name,
 		Description: sweep.Description,
 		Cells:       cells,
+		FailedCells: failed,
 	}
 	for _, c := range cells {
 		rep.Totals.Cells++
@@ -100,6 +130,7 @@ func BuildReport(sweep SweepSpec, records []CellRecord) (Report, error) {
 		rep.Totals.FlowsCompleted += c.Aggregate.FlowsCompleted
 		rep.Totals.FlowsRejected += c.Aggregate.FlowsRejected
 	}
+	rep.Totals.FailedCells = len(failed)
 	return rep, nil
 }
 

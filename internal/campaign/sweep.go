@@ -38,12 +38,15 @@ const (
 	AxisRTTMs         = "rtt_ms"         // responsive flows' two-way propagation delay
 	AxisRateScale     = "rate_scale"     // multiplier on every link's canonical rate
 	AxisBufferPackets = "buffer_packets" // spec-level queue capacity (integral values)
+	AxisOutageS       = "outage_s"       // lossy-outage family: mid-run bottleneck outage length in seconds (0 = none)
+	AxisBurstLoss     = "burst_loss"     // lossy-outage family: Gilbert–Elliott bad-state loss probability (0 = no loss process)
 )
 
 // stringAxes and numericAxes partition the legal axis names.
 var stringAxes = map[string]bool{AxisScheme: true, AxisFamily: true}
 var numericAxes = map[string]bool{
 	AxisOfferedLoad: true, AxisRTTMs: true, AxisRateScale: true, AxisBufferPackets: true,
+	AxisOutageS: true, AxisBurstLoss: true,
 }
 
 // Axis is one named sweep dimension: exactly one of Strings or Values is
@@ -90,7 +93,7 @@ func (a Axis) validate() error {
 			return fmt.Errorf("campaign: axis %q is a numeric axis; strings are not allowed", a.Name)
 		}
 	default:
-		return fmt.Errorf("campaign: unknown axis %q (known: scheme, family, offered_load, rtt_ms, rate_scale, buffer_packets)", a.Name)
+		return fmt.Errorf("campaign: unknown axis %q (known: scheme, family, offered_load, rtt_ms, rate_scale, buffer_packets, outage_s, burst_loss)", a.Name)
 	}
 	seen := make(map[string]bool, a.Len())
 	for i := 0; i < a.Len(); i++ {
@@ -115,6 +118,14 @@ func (a Axis) validate() error {
 		case AxisBufferPackets:
 			if v < 1 || v != math.Trunc(v) {
 				return fmt.Errorf("campaign: axis %q value %g must be a positive integer", a.Name, v)
+			}
+		case AxisOutageS:
+			if v < 0 {
+				return fmt.Errorf("campaign: axis %q value %g must be non-negative", a.Name, v)
+			}
+		case AxisBurstLoss:
+			if v < 0 || v >= 1 {
+				return fmt.Errorf("campaign: axis %q value %g must be in [0, 1)", a.Name, v)
 			}
 		}
 	}
@@ -161,7 +172,7 @@ type SweepSpec struct {
 
 // Families returns the scenario family names a grid may instantiate.
 func Families() []string {
-	return []string{"parkinglot", "crosstraffic", "asymreverse", "flowchurn"}
+	return []string{"parkinglot", "crosstraffic", "asymreverse", "flowchurn", "lossyoutage"}
 }
 
 // familyBuilder resolves a family name to its spec builder.
@@ -175,6 +186,8 @@ func familyBuilder(name string) (func(scenario.FamilyConfig) scenario.Spec, bool
 		return scenario.AsymmetricReverseSpec, true
 	case "flowchurn":
 		return scenario.FlowChurnSpec, true
+	case "lossyoutage":
+		return scenario.LossyOutageSpec, true
 	}
 	return nil, false
 }

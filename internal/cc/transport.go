@@ -195,6 +195,12 @@ func (t *Transport) StartFlow(now sim.Time) {
 	t.minRTT = 0
 	t.lastSend = 0
 	t.pacePending = false
+	// Fence off the previous on period's in-flight traffic: without a fresh
+	// generation, a stale cumulative ack arriving after a short off period
+	// would leap the new connection's cumAck (and nextSeq with it) far past
+	// sequence space the receiver will ever see, stalling the flow until the
+	// run ends.
+	t.port.NewConnection()
 	t.port.Receiver().Reset()
 	t.algo.Reset(now)
 	t.maybeSend(now)
@@ -311,7 +317,9 @@ func (t *Transport) onRTO(now sim.Time) {
 	t.stats.LossEvents++
 	t.algo.OnTimeout(now)
 	// Go-back-N: everything beyond the cumulative ack is considered lost and
-	// will be resent as new data.
+	// will be resent as new data. RTT sampling stays safe across the rewind
+	// without Karn's rule because ACKs echo the delivered copy's own SentAt,
+	// so every sample is per-transmission accurate.
 	t.outstanding.clearAll()
 	t.retransmitQueue.Clear()
 	t.nextSeq = t.cumAck
@@ -388,6 +396,13 @@ func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 			t.outstanding.del(seq)
 		}
 		t.cumAck = ack.CumAck
+		if t.nextSeq < t.cumAck {
+			// A go-back-N rewind moved nextSeq below data the receiver turns
+			// out to have had all along (an outage queues packets rather than
+			// dropping them, and drop-induced holes leave buffered data above
+			// them): skip forward instead of resending acknowledged bytes.
+			t.nextSeq = t.cumAck
+		}
 		t.outstanding.forgetBelow(t.cumAck)
 		t.dupAcks = 0
 		bytes := int64(newly) * int64(t.mss)

@@ -13,20 +13,38 @@ import (
 // fixedWindow is a trivial algorithm with a constant window and optional
 // pacing, used to exercise the Transport in isolation.
 type fixedWindow struct {
-	window   float64
-	gap      sim.Time
-	losses   int
-	timeouts int
-	acks     int
+	window       float64
+	gap          sim.Time
+	losses       int
+	timeouts     int
+	acks         int
+	timeoutTimes []sim.Time
 }
 
 func (f *fixedWindow) Name() string         { return "fixed" }
 func (f *fixedWindow) Reset(sim.Time)       {}
 func (f *fixedWindow) OnAck(ev cc.AckEvent) { f.acks++ }
 func (f *fixedWindow) OnLoss(sim.Time)      { f.losses++ }
-func (f *fixedWindow) OnTimeout(sim.Time)   { f.timeouts++ }
-func (f *fixedWindow) Window() float64      { return f.window }
-func (f *fixedWindow) PacingGap() sim.Time  { return f.gap }
+func (f *fixedWindow) OnTimeout(now sim.Time) {
+	f.timeouts++
+	f.timeoutTimes = append(f.timeoutTimes, now)
+}
+func (f *fixedWindow) Window() float64     { return f.window }
+func (f *fixedWindow) PacingGap() sim.Time { return f.gap }
+
+// outageInjector is a minimal netsim.FaultInjector: one full blackout of the
+// link in [start, end), nothing else.
+type outageInjector struct{ start, end sim.Time }
+
+func (o outageInjector) Outage(now sim.Time) (bool, sim.Time) {
+	if now >= o.start && now < o.end {
+		return true, o.end
+	}
+	return false, 0
+}
+func (o outageInjector) RateScale(sim.Time) float64   { return 1 }
+func (o outageInjector) ExtraDelay(sim.Time) sim.Time { return 0 }
+func (o outageInjector) DropDelivered(sim.Time) bool  { return false }
 
 // buildFlow wires one transport onto a fresh dumbbell network.
 func buildFlow(t *testing.T, eng *sim.Engine, queue netsim.Queue, rateBps float64, owd sim.Time, algo cc.Algorithm) (*cc.Transport, *netsim.Network) {
@@ -278,5 +296,106 @@ func TestStatsMeanRTTNoSamples(t *testing.T) {
 	var s cc.Stats
 	if s.MeanRTT() != 0 {
 		t.Error("MeanRTT with no samples should be 0")
+	}
+}
+
+// TestRTOBackoffClampsDuringOutage pins the retransmission timer's behavior
+// when the link goes fully dark: consecutive timeouts must double the RTO
+// (starting from the estimator's pre-outage value) and clamp at 60 s, never
+// fire faster, and never stop firing while data is outstanding.
+func TestRTOBackoffClampsDuringOutage(t *testing.T) {
+	eng := sim.NewEngine()
+	algo := &fixedWindow{window: 8}
+	tr, net := buildFlow(t, eng, aqm.MustDropTail(5000), 10e6, 25*sim.Millisecond, algo)
+	// One second of healthy traffic to settle the RTT estimator, then the
+	// link blacks out for the rest of the run.
+	net.Links()[0].SetFaults(outageInjector{start: 1 * sim.Second, end: 500 * sim.Second})
+	tr.StartFlow(0)
+	eng.Run(400 * sim.Second)
+
+	times := algo.timeoutTimes
+	if len(times) < 8 {
+		t.Fatalf("only %d timeouts in a 399 s outage; the timer stopped firing", len(times))
+	}
+	var prev sim.Time
+	var clamped int
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap > 60*sim.Second {
+			t.Errorf("timeout %d fired %v after the previous one; RTO must clamp at 60 s", i, gap)
+		}
+		if prev > 0 && gap < prev {
+			t.Errorf("timeout gap shrank from %v to %v; backoff must be monotone during an outage", prev, gap)
+		}
+		// Before the clamp each gap must double; once at the clamp it stays.
+		if prev > 0 && gap < 60*sim.Second && gap != 2*prev {
+			t.Errorf("timeout gap %v after %v; want exact doubling below the clamp", gap, prev)
+		}
+		if gap == 60*sim.Second {
+			clamped++
+		}
+		prev = gap
+	}
+	if clamped == 0 {
+		t.Error("RTO never reached the 60 s clamp in a 399 s outage")
+	}
+	if tr.RTO() != 60*sim.Second {
+		t.Errorf("RTO = %v at the end of the outage, want the 60 s clamp", tr.RTO())
+	}
+}
+
+// TestOutageRecoveryNoSpuriousRetransmit pins recovery after the link comes
+// back. Outages queue packets rather than dropping them, so the pre-outage
+// flight eventually delivers and is cumulatively acknowledged; the sender
+// must then skip past that data instead of resending the whole rewound
+// window, and Karn's rule must keep the outage out of the RTT estimator
+// (an ACK for a pre-outage copy of a rewound sequence is ambiguous).
+func TestOutageRecoveryNoSpuriousRetransmit(t *testing.T) {
+	// NewReno matters here: its window collapses to 1 on the timeout, so the
+	// go-back-N rewind resends only the first hole — and when the queued
+	// pre-outage flight then delivers, the cumulative ack jumps far past the
+	// rewound nextSeq. The sender must skip forward, not walk nextSeq through
+	// tens of already-acknowledged sequence numbers.
+	// The 50-packet buffer (just above the ~43-packet BDP) makes slow start
+	// overshoot drop packets shortly before the outage, so the receiver holds
+	// out-of-order data above a hole when the timeout rewinds — exactly the
+	// state where the cumulative ack later leaps past the rewound nextSeq.
+	eng := sim.NewEngine()
+	tr, net := buildFlow(t, eng, aqm.MustDropTail(50), 10e6, 25*sim.Millisecond, newreno.New())
+	net.Links()[0].SetFaults(outageInjector{start: 1 * sim.Second, end: 3 * sim.Second})
+
+	// Count transmissions of data the receiver has already cumulatively
+	// acknowledged (BytesAcked/MTU is exactly the cumulative ack in packets).
+	var spurious int64
+	tr.OnSend = func(p *netsim.Packet, now sim.Time) {
+		if p.Seq < tr.Stats().BytesAcked/int64(netsim.MTU) {
+			spurious++
+		}
+	}
+	tr.StartFlow(0)
+	eng.Run(8 * sim.Second)
+	st := tr.Stats()
+
+	if st.Timeouts == 0 {
+		t.Fatal("a 2 s outage must trigger retransmission timeouts")
+	}
+	if spurious != 0 {
+		t.Errorf("%d packets of already-acknowledged data were retransmitted after the outage", spurious)
+	}
+	// The flow must actually recover: ~6 s of link uptime on a 10 Mbps path
+	// NewReno normally fills must deliver well over 2 MB.
+	if st.BytesAcked < 2_000_000 {
+		t.Errorf("only %d bytes acked over 6 s of link uptime; recovery failed", st.BytesAcked)
+	}
+	// ACKs echo the delivered copy's own SentAt, so the pre-outage packets
+	// that sat queued through the blackout report their true (outage-length)
+	// RTT — MaxRTT legitimately spans the outage. What must NOT happen is
+	// that one such sample poisons the timer for good: 5 s of ordinary ~50 ms
+	// samples afterwards must pull the RTO back to the floor.
+	if st.MaxRTT < 2*sim.Second {
+		t.Errorf("max RTT %v; packets queued through the 2 s outage should report their true delay", st.MaxRTT)
+	}
+	if tr.RTO() > sim.Second {
+		t.Errorf("RTO %v never recovered after the outage-spanning RTT samples", tr.RTO())
 	}
 }

@@ -120,8 +120,8 @@ func TestLoadOrTrainRemyCCLoadsExistingAsset(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Errorf("registry has %d experiments, want 15 (every table and figure, plus beyond-dumbbell and churn)", len(exps))
+	if len(exps) != 16 {
+		t.Errorf("registry has %d experiments, want 16 (every table and figure, plus beyond-dumbbell, churn and faults)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -414,5 +414,49 @@ func TestFlowChurnExperiment(t *testing.T) {
 		if len(s.Points) == 0 {
 			t.Errorf("%s produced no static-flow observations", s.Protocol)
 		}
+	}
+}
+
+func TestFaultsExperiment(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Runs = 1
+	rep, err := Faults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "faults" {
+		t.Errorf("report id %q", rep.ID)
+	}
+	// Three outages x three burst-loss levels, one header pair + four scheme
+	// lines per block.
+	var blocks, schemeLines int
+	for _, l := range rep.Lines {
+		if strings.HasPrefix(l, "-- outage") {
+			blocks++
+		}
+		for _, scheme := range []string{"remy-1x", "cubic", "newreno", "vegas"} {
+			if strings.HasPrefix(l, scheme+" ") {
+				schemeLines++
+				break
+			}
+		}
+	}
+	if blocks != 9 {
+		t.Errorf("report renders %d fault blocks, want 9:\n%s", blocks, rep.String())
+	}
+	if schemeLines != 36 {
+		t.Errorf("report renders %d scheme lines, want 36:\n%s", schemeLines, rep.String())
+	}
+	// The faults must actually bite: burst-loss cells record fault drops
+	// (the last column), the fault-free control records none.
+	var sawDrops bool
+	for _, l := range rep.Lines {
+		fields := strings.Fields(l)
+		if len(fields) == 6 && fields[0] != "scheme" && fields[5] != "0" && !strings.HasPrefix(l, "--") {
+			sawDrops = true
+		}
+	}
+	if !sawDrops {
+		t.Error("no cell recorded fault drops; the loss process never fired")
 	}
 }

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{ID: "fig11", Title: "Prior-knowledge sensitivity (§5.7)", Run: Figure11},
 		{ID: "beyond", Title: "Beyond the dumbbell: multi-bottleneck, cross-traffic and asymmetric paths (§7 open question)", Run: BeyondDumbbell},
 		{ID: "churn", Title: "Flow churn: FCTs under Poisson arrivals at three offered loads", Run: FlowChurn},
+		{ID: "faults", Title: "Faults: link outages and burst loss vs hand-designed recovery", Run: Faults},
 	}
 }
 

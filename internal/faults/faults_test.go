@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func validSchedule() *Schedule {
+	return &Schedule{
+		Outages: []Outage{{StartS: 1, DurationS: 0.5}, {StartS: 3, DurationS: 1}},
+		Loss: &GilbertElliott{
+			PGoodBad: 0.01, PBadGood: 0.25, LossBad: 0.5,
+		},
+		DelaySpikes: []DelaySpike{{StartS: 0.5, DurationS: 0.25, ExtraMs: 40, JitterMs: 10}},
+		RateDroops:  []RateDroop{{StartS: 2, DurationS: 0.5, Factor: 0.25}},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := validSchedule().Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	var empty Schedule
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty schedule rejected: %v", err)
+	}
+	if err := (*Schedule)(nil).Validate(); err != nil {
+		t.Fatalf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Schedule)
+	}{
+		{"negative outage start", func(s *Schedule) { s.Outages[0].StartS = -1 }},
+		{"zero outage duration", func(s *Schedule) { s.Outages[0].DurationS = 0 }},
+		{"overlapping outages", func(s *Schedule) { s.Outages[1].StartS = 1.2 }},
+		{"out-of-order outages", func(s *Schedule) { s.Outages[0].StartS = 5 }},
+		{"loss prob above one", func(s *Schedule) { s.Loss.LossBad = 1.5 }},
+		{"negative transition prob", func(s *Schedule) { s.Loss.PGoodBad = -0.1 }},
+		{"loss window inverted", func(s *Schedule) { s.Loss.StartS = 2; s.Loss.EndS = 1 }},
+		{"spike without effect", func(s *Schedule) { s.DelaySpikes[0].ExtraMs = 0; s.DelaySpikes[0].JitterMs = 0 }},
+		{"negative jitter", func(s *Schedule) { s.DelaySpikes[0].JitterMs = -1 }},
+		{"droop factor zero", func(s *Schedule) { s.RateDroops[0].Factor = 0 }},
+		{"droop factor above one", func(s *Schedule) { s.RateDroops[0].Factor = 1.5 }},
+	}
+	for _, tc := range cases {
+		s := validSchedule()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := validSchedule()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", *s, back)
+	}
+}
+
+func TestOutageWindows(t *testing.T) {
+	ls := MustCompile(&Schedule{Outages: []Outage{
+		{StartS: 1, DurationS: 1},
+		{StartS: 4, DurationS: 0.5},
+	}})
+	ls.Reset(1)
+	check := func(atS float64, wantDown bool, wantUntilS float64) {
+		t.Helper()
+		down, until := ls.Outage(sim.FromSeconds(atS))
+		if down != wantDown {
+			t.Fatalf("Outage(%gs): down=%v want %v", atS, down, wantDown)
+		}
+		if wantDown && until != sim.FromSeconds(wantUntilS) {
+			t.Fatalf("Outage(%gs): until=%v want %v", atS, until, sim.FromSeconds(wantUntilS))
+		}
+	}
+	check(0, false, 0)
+	check(1, true, 2) // start inclusive
+	check(1.5, true, 2)
+	check(2, false, 0) // end exclusive
+	check(3.9, false, 0)
+	check(4.2, true, 4.5)
+	check(10, false, 0)
+}
+
+func TestRateScaleAndExtraDelay(t *testing.T) {
+	ls := MustCompile(&Schedule{
+		RateDroops:  []RateDroop{{StartS: 1, DurationS: 1, Factor: 0.5}},
+		DelaySpikes: []DelaySpike{{StartS: 2, DurationS: 1, ExtraMs: 30}},
+	})
+	ls.Reset(7)
+	if got := ls.RateScale(sim.FromSeconds(0.5)); got != 1 {
+		t.Fatalf("RateScale before droop = %g, want 1", got)
+	}
+	if got := ls.RateScale(sim.FromSeconds(1.5)); got != 0.5 {
+		t.Fatalf("RateScale inside droop = %g, want 0.5", got)
+	}
+	if got := ls.RateScale(sim.FromSeconds(2.5)); got != 1 {
+		t.Fatalf("RateScale after droop = %g, want 1", got)
+	}
+	if got := ls.ExtraDelay(sim.FromSeconds(2.5)); got != sim.FromMillis(30) {
+		t.Fatalf("ExtraDelay inside spike = %v, want 30ms", got)
+	}
+	if got := ls.ExtraDelay(sim.FromSeconds(3.5)); got != 0 {
+		t.Fatalf("ExtraDelay after spike = %v, want 0", got)
+	}
+}
+
+// TestDeterministicReplay pins that a reset LinkState replays the identical
+// jitter and burst-loss stream — the property warm-started sessions rely on.
+func TestDeterministicReplay(t *testing.T) {
+	sched := &Schedule{
+		Loss:        &GilbertElliott{PGoodBad: 0.1, PBadGood: 0.3, LossBad: 0.7, LossGood: 0.01},
+		DelaySpikes: []DelaySpike{{StartS: 0, DurationS: 100, ExtraMs: 5, JitterMs: 20}},
+	}
+	run := func(ls *LinkState, seed int64) ([]bool, []sim.Time) {
+		ls.Reset(seed)
+		var drops []bool
+		var delays []sim.Time
+		for i := 0; i < 500; i++ {
+			now := sim.Time(i) * sim.Millisecond
+			drops = append(drops, ls.DropDelivered(now))
+			delays = append(delays, ls.ExtraDelay(now))
+		}
+		return drops, delays
+	}
+	a := MustCompile(sched)
+	d1, j1 := run(a, 42)
+	d2, j2 := run(a, 42) // same state object, reset
+	b := MustCompile(sched)
+	d3, j3 := run(b, 42) // fresh state
+	if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(d1, d3) {
+		t.Fatal("drop stream not reproducible across Reset / fresh compile")
+	}
+	if !reflect.DeepEqual(j1, j2) || !reflect.DeepEqual(j1, j3) {
+		t.Fatal("jitter stream not reproducible across Reset / fresh compile")
+	}
+	d4, _ := run(b, 43)
+	if reflect.DeepEqual(d1, d4) {
+		t.Fatal("different seeds produced identical drop streams")
+	}
+	// Some drops must actually occur at these probabilities.
+	n := 0
+	for _, d := range d1 {
+		if d {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("Gilbert–Elliott process produced no drops in 500 packets")
+	}
+}
+
+// TestLossWindowConfinesProcess checks the chain neither draws nor drops
+// outside its window.
+func TestLossWindowConfinesProcess(t *testing.T) {
+	ls := MustCompile(&Schedule{
+		Loss: &GilbertElliott{PGoodBad: 1, PBadGood: 0, LossBad: 1, StartS: 1, EndS: 2},
+	})
+	ls.Reset(3)
+	if ls.DropDelivered(sim.FromSeconds(0.5)) {
+		t.Fatal("drop before loss window")
+	}
+	if !ls.DropDelivered(sim.FromSeconds(1.5)) {
+		t.Fatal("deterministic bad-state chain failed to drop inside window")
+	}
+	if ls.DropDelivered(sim.FromSeconds(2.5)) {
+		t.Fatal("drop after loss window")
+	}
+}
+
+func TestCompileEmptyReturnsNil(t *testing.T) {
+	ls, err := Compile(nil)
+	if err != nil || ls != nil {
+		t.Fatalf("Compile(nil) = %v, %v; want nil, nil", ls, err)
+	}
+	ls, err = Compile(&Schedule{})
+	if err != nil || ls != nil {
+		t.Fatalf("Compile(empty) = %v, %v; want nil, nil", ls, err)
+	}
+}
+
+func TestDeriveSeedDecorrelates(t *testing.T) {
+	base := DeriveSeed(20130812, 0)
+	if base < 0 {
+		t.Fatal("derived seed negative")
+	}
+	if base == 20130812 {
+		t.Fatal("derived seed equals run seed — salt not applied")
+	}
+	seen := map[int64]int{base: 0}
+	for link := 1; link <= 8; link++ {
+		s := DeriveSeed(20130812, link)
+		if other, dup := seen[s]; dup {
+			t.Fatalf("links %d and %d derived the same seed", other, link)
+		}
+		seen[s] = link
+	}
+	if DeriveSeed(20130812, 3) != DeriveSeed(20130812, 3) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzFaultScheduleRoundTrip feeds arbitrary JSON at the schedule decoder and
+// checks three properties: decoding + validation + compilation never panic,
+// a schedule that validates re-encodes to a stable fixed point (decode →
+// encode → decode → encode is byte-identical), and a compiled LinkState
+// never panics under a monotone stream of queries.
+func FuzzFaultScheduleRoundTrip(f *testing.F) {
+	seed, err := json.Marshal(&Schedule{
+		Outages: []Outage{{StartS: 1, DurationS: 0.5}},
+		Loss:    &GilbertElliott{PGoodBad: 0.01, PBadGood: 0.25, LossBad: 0.5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"delay_spikes":[{"start_s":0,"duration_s":1,"extra_ms":10,"jitter_ms":3}],"rate_droops":[{"start_s":2,"duration_s":1,"factor":0.5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			if _, cerr := Compile(&s); cerr == nil && !s.Empty() {
+				t.Fatalf("Validate rejected (%v) but Compile accepted", err)
+			}
+			return
+		}
+		// Valid schedules must re-encode to a fixed point.
+		enc1, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("marshal valid schedule: %v", err)
+		}
+		var s2 Schedule
+		if err := json.Unmarshal(enc1, &s2); err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		enc2, err := json.Marshal(&s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not a fixed point:\n%s\n%s", enc1, enc2)
+		}
+		ls, err := Compile(&s)
+		if err != nil {
+			t.Fatalf("Compile rejected validated schedule: %v", err)
+		}
+		if ls == nil {
+			return
+		}
+		// Drive the runtime queries; nothing here may panic.
+		ls.Reset(1)
+		for i := 0; i < 64; i++ {
+			now := sim.Time(i) * 250 * sim.Millisecond
+			ls.Outage(now)
+			ls.RateScale(now)
+			ls.ExtraDelay(now)
+			ls.DropDelivered(now)
+		}
+	})
+}

@@ -71,13 +71,17 @@ type ChurnSummary struct {
 // class's summary in class order — omitted entirely for the pre-churn
 // fixtures, which therefore remain byte-identical).
 type RunSummary struct {
-	Rep       int            `json:"rep"`
-	Seed      int64          `json:"seed"`
-	Offered   int64          `json:"offered"`
-	Delivered int64          `json:"delivered"`
-	Dropped   int64          `json:"dropped"`
-	Flows     []FlowSummary  `json:"flows"`
-	Churn     []ChurnSummary `json:"churn,omitempty"`
+	Rep       int   `json:"rep"`
+	Seed      int64 `json:"seed"`
+	Offered   int64 `json:"offered"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	// FaultDropped counts packets destroyed by injected burst loss; zero (and
+	// therefore omitted) for every fault-free scenario, which keeps the
+	// pre-fault fixtures byte-identical.
+	FaultDropped int64          `json:"fault_dropped,omitempty"`
+	Flows        []FlowSummary  `json:"flows"`
+	Churn        []ChurnSummary `json:"churn,omitempty"`
 }
 
 // SchemeSummary is one protocol's runs on one topology.
@@ -271,6 +275,23 @@ func DefaultScenarios() []ScenarioSet {
 				return scenario.FlowChurnSpec(familyConfig(c))
 			},
 		},
+		// The lossy-outage family pins the fault-injection machinery: the
+		// outage gate on link service, the Gilbert–Elliott burst-loss chain,
+		// and the per-link fault-RNG seed derivation, all of which must be as
+		// worker-count-invariant as the rest of the battery.
+		{
+			Name: "lossyoutage",
+			schemes: []schemeCase{
+				{scheme: "newreno"}, {scheme: "cubic"},
+				{scheme: "remy", remycc: remyAsset("remycc_1x.json")},
+			},
+			build: func(c schemeCase) scenario.Spec {
+				cfg := familyConfig(c)
+				cfg.OutageSeconds = 0.5
+				cfg.BurstLoss = 0.4
+				return scenario.LossyOutageSpec(cfg)
+			},
+		},
 	}
 }
 
@@ -301,11 +322,12 @@ func Capture(set ScenarioSet, workers int) (Summary, error) {
 		ss := SchemeSummary{Scheme: c.scheme}
 		for _, res := range results {
 			run := RunSummary{
-				Rep:       res.Rep,
-				Seed:      res.Seed,
-				Offered:   res.Res.Offered,
-				Delivered: res.Res.Delivered,
-				Dropped:   res.Res.Dropped,
+				Rep:          res.Rep,
+				Seed:         res.Seed,
+				Offered:      res.Res.Offered,
+				Delivered:    res.Res.Delivered,
+				Dropped:      res.Res.Dropped,
+				FaultDropped: res.Res.FaultDropped,
 			}
 			for _, f := range res.Res.Flows {
 				st := f.Transport

@@ -96,14 +96,29 @@ func TestGoldenWorkerCountDeterminism(t *testing.T) {
 // pooled spawns, slot reuse) must be as schedule-independent as the static
 // battery.
 func TestFlowChurnWorkerInvariance(t *testing.T) {
+	assertWorkerInvariance(t, "flowchurn")
+}
+
+// TestLossyOutageWorkerInvariance pins the fault fixture across 1, 4 and 8
+// workers: the per-link fault RNG is derived from the run seed alone, so the
+// outage gate, burst-loss chain and jitter draws must not depend on which
+// worker executes which repetition.
+func TestLossyOutageWorkerInvariance(t *testing.T) {
+	assertWorkerInvariance(t, "lossyoutage")
+}
+
+// assertWorkerInvariance captures one battery set at 1, 4 and 8 workers and
+// requires byte-identical summaries.
+func assertWorkerInvariance(t *testing.T, name string) {
+	t.Helper()
 	var set ScenarioSet
 	for _, s := range DefaultScenarios() {
-		if s.Name == "flowchurn" {
+		if s.Name == name {
 			set = s
 		}
 	}
 	if set.Name == "" {
-		t.Fatal("flowchurn scenario set missing from the battery")
+		t.Fatalf("%s scenario set missing from the battery", name)
 	}
 	var ref []byte
 	for _, workers := range []int{1, 4, 8} {
@@ -120,7 +135,7 @@ func TestFlowChurnWorkerInvariance(t *testing.T) {
 			continue
 		}
 		if string(got) != string(ref) {
-			t.Errorf("flowchurn summary differs with %d workers", workers)
+			t.Errorf("%s summary differs with %d workers", name, workers)
 			diffFirst(t, ref, got)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/aqm"
 	"repro/internal/cc"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -83,6 +84,10 @@ type LinkDef struct {
 	DelayMs float64
 	// NewQueue builds the link's queue discipline for this run.
 	NewQueue func(engine *sim.Engine) (netsim.Queue, error)
+	// Faults, when set, attaches a deterministic fault schedule to the link
+	// (outages, burst loss, delay spikes, rate droops). The schedule's RNG is
+	// reseeded per run from the run seed.
+	Faults *faults.Schedule
 }
 
 // LinkResult reports one link's counters from one run.
@@ -91,6 +96,9 @@ type LinkResult struct {
 	Delivered      int64
 	DeliveredBytes int64
 	Drops          int64
+	// FaultDrops counts packets destroyed by fault-injected burst loss after
+	// this link served them (zero for fault-free links).
+	FaultDrops int64
 }
 
 // Scenario is a complete simulation configuration.
@@ -126,6 +134,11 @@ type Scenario struct {
 	// AckBytes is the acknowledgment packet size on reverse-path links
 	// (netsim.AckBytes if zero).
 	AckBytes int
+
+	// Faults, when set, attaches a deterministic fault schedule to the single
+	// bottleneck link. Topology scenarios declare faults per LinkDef instead;
+	// this field must be nil when Links is non-empty.
+	Faults *faults.Schedule
 
 	MTU      int
 	Duration sim.Time
@@ -209,6 +222,12 @@ func (s Scenario) Validate() error {
 			if l.NewQueue == nil {
 				return fmt.Errorf("harness: link %q has no queue factory", l.Name)
 			}
+			if err := l.Faults.Validate(); err != nil {
+				return fmt.Errorf("harness: link %q: %w", l.Name, err)
+			}
+		}
+		if s.Faults != nil {
+			return fmt.Errorf("harness: topology scenarios declare faults per link, not at the scenario level")
 		}
 		for i, f := range s.Flows {
 			if len(f.Path) == 0 {
@@ -243,6 +262,9 @@ func (s Scenario) Validate() error {
 	} else {
 		if len(s.Trace) == 0 && s.LinkRateBps <= 0 {
 			return fmt.Errorf("harness: need a link rate or a trace")
+		}
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("harness: bottleneck faults: %w", err)
 		}
 		for i, f := range s.Flows {
 			if len(f.Path) > 0 || len(f.ReversePath) > 0 {
@@ -331,6 +353,9 @@ type Result struct {
 	// enqueue (tail drop) or dequeue (CoDel) time. Always zero for
 	// single-bottleneck scenarios, whose ACK path is uncongested.
 	AcksDropped int64
+	// FaultDropped counts packets (data and acks) destroyed by fault-injected
+	// burst loss across all links, separate from the queue-drop counters.
+	FaultDropped int64
 	// Links reports per-link counters in definition order (for
 	// single-bottleneck scenarios: the one bottleneck link).
 	Links []LinkResult

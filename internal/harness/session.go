@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cc"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -38,6 +39,10 @@ type Session struct {
 	flows   []*flowState
 	churn   *churnRuntime
 	mtu     int
+	// linkFaults holds the compiled fault state of each link (nil for
+	// fault-free links), indexed like network.Links(); reset reseeds each from
+	// the run seed so fault realizations replay exactly across warm runs.
+	linkFaults []*faults.LinkState
 }
 
 // NewSession builds a reusable session for the scenario on a fresh engine.
@@ -82,6 +87,31 @@ func NewSessionOn(engine *sim.Engine, s Scenario) (*Session, error) {
 	ss.network = network
 	ss.queues = queues
 	network.OnDeliver = s.OnDeliver
+
+	// Compile and attach fault schedules (nil entries leave links fault-free;
+	// an all-nil scenario allocates nothing here).
+	schedules := make([]*faults.Schedule, 0, len(network.Links()))
+	if len(s.Links) > 0 {
+		for i := range s.Links {
+			schedules = append(schedules, s.Links[i].Faults)
+		}
+	} else {
+		schedules = append(schedules, s.Faults)
+	}
+	for i, sched := range schedules {
+		state, err := faults.Compile(sched)
+		if err != nil {
+			return nil, err
+		}
+		if state == nil {
+			continue
+		}
+		if ss.linkFaults == nil {
+			ss.linkFaults = make([]*faults.LinkState, len(schedules))
+		}
+		ss.linkFaults[i] = state
+		network.Links()[i].SetFaults(state)
+	}
 	// Disciplines that drop at dequeue time (CoDel and friends) recycle those
 	// packets through the network's pool; enqueue-time drops are recycled by
 	// the port itself.
@@ -203,6 +233,15 @@ func (ss *Session) reset(seed int64) error {
 	ss.network.Reset()
 	ss.engine.Reset()
 
+	// Per-link fault streams reseed from the run seed with their own salt,
+	// mirroring trace-seed derivation: decorrelated across links, identical
+	// across worker counts.
+	for i, state := range ss.linkFaults {
+		if state != nil {
+			state.Reset(faults.DeriveSeed(seed, i))
+		}
+	}
+
 	root := sim.NewRNG(seed)
 	for i, fs := range ss.flows {
 		if err := ss.network.ReattachFlowRoute(fs.port, fs.fwd, fs.rev, fs.oneWay); err != nil {
@@ -223,10 +262,11 @@ func (ss *Session) reset(seed int64) error {
 func (ss *Session) collect() Result {
 	network, s := ss.network, &ss.spec
 	res := Result{
-		Offered:     network.PacketsOffered(),
-		Delivered:   network.Link().Delivered(),
-		Dropped:     network.PacketsDropped(),
-		AcksDropped: network.AcksDropped(),
+		Offered:      network.PacketsOffered(),
+		Delivered:    network.Link().Delivered(),
+		Dropped:      network.PacketsDropped(),
+		AcksDropped:  network.AcksDropped(),
+		FaultDropped: network.FaultDropped(),
 	}
 	for _, l := range network.Links() {
 		res.Links = append(res.Links, LinkResult{
@@ -234,6 +274,7 @@ func (ss *Session) collect() Result {
 			Delivered:      l.Delivered(),
 			DeliveredBytes: l.DeliveredBytes(),
 			Drops:          l.Queue().Drops(),
+			FaultDrops:     l.FaultDropped(),
 		})
 	}
 	for i, fs := range ss.flows {

@@ -1,0 +1,74 @@
+package netsim
+
+import "repro/internal/sim"
+
+// FaultInjector is the narrow hook a link queries to apply deterministic
+// fault schedules (see internal/faults for the implementation; the interface
+// lives here so netsim does not depend on the schedule format). All methods
+// are called with the engine's monotone clock. A nil injector — the default —
+// leaves every service and delivery path exactly as before, scheduling a
+// byte-identical event sequence.
+type FaultInjector interface {
+	// Outage reports whether the link is down at now and, if so, when it
+	// comes back up.
+	Outage(now sim.Time) (down bool, until sim.Time)
+	// RateScale returns the service-rate multiplier at now (1 = full rate);
+	// applies to fixed-rate links only.
+	RateScale(now sim.Time) float64
+	// ExtraDelay returns additional propagation delay for a packet delivered
+	// at now (delay spikes and per-packet jitter).
+	ExtraDelay(now sim.Time) sim.Time
+	// DropDelivered is consulted once per packet completing service and
+	// reports whether the packet is lost (burst-loss process).
+	DropDelivered(now sim.Time) bool
+}
+
+// SetFaults attaches a fault injector to the link (nil detaches). Outages
+// gate the start of each service — a packet already in transmission when an
+// outage begins still completes, then the link idles until the outage ends.
+// For fixed-rate links a resume event restarts demand-driven service when the
+// outage lifts; trace-driven links simply waste their in-outage delivery
+// opportunities.
+func (l *Link) SetFaults(f FaultInjector) {
+	l.faults = f
+	if f != nil && l.resumeEv == nil {
+		l.resumeEv = l.onResume
+	}
+}
+
+// Faults returns the link's attached fault injector (nil if none).
+func (l *Link) Faults() FaultInjector { return l.faults }
+
+// FaultDropped returns the number of packets the fault injector's loss
+// process destroyed after this link served them.
+func (l *Link) FaultDropped() int64 { return l.faultDropped }
+
+// armResume schedules the service-resume event at the end of the current
+// outage; idempotent while one is already pending.
+func (l *Link) armResume(until sim.Time) {
+	if l.resumeArmed {
+		return
+	}
+	l.resumeArmed = true
+	l.engine.Schedule(until, l.resumeEv)
+}
+
+// onResume restarts fixed-rate service after an outage if work is queued.
+func (l *Link) onResume(t sim.Time) {
+	l.resumeArmed = false
+	if l.trace == nil && !l.busy {
+		l.serveNext(t)
+	}
+}
+
+// faultServiceTime is the transmission time of p with any rate droop applied.
+func (l *Link) faultServiceTime(p *Packet, now sim.Time) sim.Time {
+	st := l.serviceTime(p)
+	if scale := l.faults.RateScale(now); scale < 1 {
+		st = sim.Time(float64(st) / scale)
+		if st < 1 {
+			st = 1
+		}
+	}
+	return st
+}

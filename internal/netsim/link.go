@@ -46,6 +46,14 @@ type Link struct {
 
 	deliver func(p *Packet, now sim.Time)
 
+	// faults, when non-nil, injects outages, rate droops, burst loss and
+	// delay spikes (see faults.go); resumeEv/resumeArmed drive the one
+	// service-resume event a fixed-rate link arms per outage.
+	faults       FaultInjector
+	resumeEv     func(now sim.Time)
+	resumeArmed  bool
+	faultDropped int64
+
 	delivered      int64
 	deliveredBytes int64
 	busyTime       sim.Time
@@ -110,6 +118,8 @@ func (l *Link) reset() *Packet {
 	l.deliveredBytes = 0
 	l.busyTime = 0
 	l.lastStart = 0
+	l.resumeArmed = false
+	l.faultDropped = 0
 	return p
 }
 
@@ -162,6 +172,13 @@ func (l *Link) Offer(now sim.Time) {
 }
 
 func (l *Link) serveNext(now sim.Time) {
+	if l.faults != nil {
+		if down, until := l.faults.Outage(now); down {
+			l.busy = false
+			l.armResume(until)
+			return
+		}
+	}
 	p := l.queue.Dequeue(now)
 	if p == nil {
 		l.busy = false
@@ -171,6 +188,9 @@ func (l *Link) serveNext(now sim.Time) {
 	l.lastStart = now
 	l.serving = p
 	l.servingTime = l.serviceTime(p)
+	if l.faults != nil {
+		l.servingTime = l.faultServiceTime(p, now)
+	}
 	l.engine.Schedule(now+l.servingTime, l.serviceDone)
 }
 
@@ -187,6 +207,13 @@ func (l *Link) onServiceDone(t sim.Time) {
 	l.delivered++
 	l.deliveredBytes += int64(p.Size)
 	l.deliver(p, t)
+	if l.faults != nil {
+		if down, until := l.faults.Outage(t); down {
+			l.busy = false
+			l.armResume(until)
+			return
+		}
+	}
 	next := l.queue.Dequeue(t)
 	if next == nil {
 		l.busy = false
@@ -195,6 +222,9 @@ func (l *Link) onServiceDone(t sim.Time) {
 	l.lastStart = t
 	l.serving = next
 	l.servingTime = l.serviceTime(next)
+	if l.faults != nil {
+		l.servingTime = l.faultServiceTime(next, t)
+	}
 	l.engine.Rearm(t + l.servingTime)
 }
 
@@ -227,6 +257,14 @@ func (l *Link) scheduleNextOpportunity(now sim.Time, rearm bool) {
 // empty queue wastes the opportunity, exactly as in the paper's setup. The
 // opportunity event rearms itself in place for the next trace instant.
 func (l *Link) onOpportunity(t sim.Time) {
+	if l.faults != nil {
+		if down, _ := l.faults.Outage(t); down {
+			// The link is down: the opportunity is wasted even with a
+			// non-empty queue.
+			l.scheduleNextOpportunity(t, true)
+			return
+		}
+	}
 	if p := l.queue.Dequeue(t); p != nil {
 		l.delivered++
 		l.deliveredBytes += int64(p.Size)

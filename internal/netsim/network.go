@@ -250,6 +250,18 @@ func (n *Network) PacketsDropped() int64 { return n.packetsDropped }
 // reverse-path links.
 func (n *Network) AcksDropped() int64 { return n.acksDropped }
 
+// FaultDropped returns the number of packets (data and acks) destroyed by
+// fault-injected burst loss across all links. These are counted separately
+// from PacketsDropped/AcksDropped, which keep their long-standing meaning of
+// queue drops.
+func (n *Network) FaultDropped() int64 {
+	var total int64
+	for _, l := range n.links {
+		total += l.faultDropped
+	}
+	return total
+}
+
 // AttachFlow adds a flow routed over the primary link with the given one-way
 // access propagation delay and a pure-delay reverse path — the dumbbell
 // attachment of Figure 2. Flows are numbered in attachment order.
@@ -412,6 +424,18 @@ func (n *Network) MinRTT(flow int) sim.Time {
 // propagates over the link's delay toward the next hop of its route, or — at
 // the last hop — toward the flow's receiver (data) or sender (ack).
 func (n *Network) onLinkDelivered(l *Link, p *Packet, now sim.Time) {
+	delay := l.delay
+	if l.faults != nil {
+		// The loss process acts on every packet the link transmits — stale
+		// ones included — so the burst chain advances identically whether or
+		// not the packet's flow is still attached.
+		if l.faults.DropDelivered(now) {
+			l.faultDropped++
+			n.pool.put(p)
+			return
+		}
+		delay += l.faults.ExtraDelay(now)
+	}
 	port := n.PortFor(p.Flow)
 	if port == nil || port.gen != p.gen {
 		n.pool.put(p) // stale packet of a detached flow
@@ -423,14 +447,14 @@ func (n *Network) onLinkDelivered(l *Link, p *Packet, now sim.Time) {
 	}
 	if p.hop+1 < len(route) {
 		p.hop++
-		n.engine.ScheduleArg(now+l.delay, n.hopApply, p)
+		n.engine.ScheduleArg(now+delay, n.hopApply, p)
 		return
 	}
 	if p.isAck {
-		n.engine.ScheduleArg(now+l.delay+port.oneWay, n.ackDone, p)
+		n.engine.ScheduleArg(now+delay+port.oneWay, n.ackDone, p)
 		return
 	}
-	n.engine.ScheduleArg(now+l.delay+port.oneWay, n.propApply, p)
+	n.engine.ScheduleArg(now+delay+port.oneWay, n.propApply, p)
 }
 
 // onHopArrived runs when a packet reaches an intermediate hop of its route:
@@ -607,6 +631,18 @@ func (n *Network) ReleaseDropped(p *Packet) {
 // Send. Senders must obtain packets here rather than allocating them, so the
 // network can recycle delivered packets.
 func (p *Port) NewPacket() *Packet { return p.net.pool.get() }
+
+// NewConnection stamps a fresh attachment generation on the port without
+// changing its flow slot. Data packets and acknowledgments of the previous
+// connection that are still in flight fail the generation check on delivery
+// and are recycled, exactly as after a detach/reattach cycle. Transports
+// call it when a new on period begins, so a short off period cannot leak the
+// old connection's traffic — in particular a stale cumulative ack, which
+// would corrupt the fresh sequence space — into the new one.
+func (p *Port) NewConnection() {
+	p.net.nextGen++
+	p.gen = p.net.nextGen
+}
 
 // Send transmits a packet from this flow's sender into its first-hop queue.
 // The packet's Flow field is overwritten with the port's flow id. It returns

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+)
+
+// Chaos schemes are deliberate failure injectors for exercising the
+// campaign's fail-safe machinery end to end: "chaos/panic" panics the moment
+// its flow starts, and "chaos/hang" blocks the simulation goroutine on a
+// wall-clock sleep so watchdog timeouts have something real to fire on. They
+// carry no congestion-control behavior and must never appear in a scientific
+// sweep; they exist so the panic-recovery, retry, quarantine and
+// report-degradation paths are tested against genuine panics and genuine
+// hangs rather than mocks.
+
+// ChaosPanicMessage is the fixed panic value "chaos/panic" throws, so tests
+// and quarantine records can assert on it.
+const ChaosPanicMessage = "chaos/panic: injected failure"
+
+// chaosHangSleep bounds how long "chaos/hang" blocks. Long enough that any
+// reasonable watchdog fires first, short enough that an abandoned attempt's
+// goroutine drains during a test run instead of outliving it.
+const chaosHangSleep = 30 * time.Second
+
+// chaosAlgorithm is the shared no-op skeleton; onReset injects the failure.
+type chaosAlgorithm struct {
+	name    string
+	onReset func()
+}
+
+func (a *chaosAlgorithm) Name() string           { return a.name }
+func (a *chaosAlgorithm) Reset(now sim.Time)     { a.onReset() }
+func (a *chaosAlgorithm) OnAck(ev cc.AckEvent)   {}
+func (a *chaosAlgorithm) OnLoss(now sim.Time)    {}
+func (a *chaosAlgorithm) OnTimeout(now sim.Time) {}
+func (a *chaosAlgorithm) Window() float64        { return 1 }
+func (a *chaosAlgorithm) PacingGap() sim.Time    { return 0 }
+
+func registerChaos(r *Registry) {
+	must(r.RegisterProtocol(Protocol{
+		Name: "chaos/panic",
+		New: func() cc.Algorithm {
+			return &chaosAlgorithm{name: "chaos/panic", onReset: func() { panic(ChaosPanicMessage) }}
+		},
+	}))
+	must(r.RegisterProtocol(Protocol{
+		Name: "chaos/hang",
+		New: func() cc.Algorithm {
+			return &chaosAlgorithm{name: "chaos/hang", onReset: func() { time.Sleep(chaosHangSleep) }}
+		},
+	}))
+}

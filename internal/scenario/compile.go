@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -165,6 +166,11 @@ func (s Spec) Compile(reg *Registry, rep int) (harness.Scenario, int64, error) {
 		out.LinkRateBps = s.Link.RateBps
 	}
 	out.XCPCapacityBps = capacityBps
+	if s.Faults != nil {
+		// Validate guarantees a single-bottleneck faults section has exactly
+		// one entry, targeting the bottleneck.
+		out.Faults = &s.Faults.Links[0].Schedule
+	}
 
 	// Queue: resolved through the registry and built per run, so a new AQM is
 	// a registry entry rather than a harness change.
@@ -275,6 +281,14 @@ func (s Spec) resolveLinkService(reg *Registry, label string, explicitTrace []si
 func (s Spec) compileTopologyLinks(reg *Registry, runSeed int64, out *harness.Scenario) error {
 	t := s.Topology
 	out.AckBytes = t.AckBytes
+	var faultsByLink map[string]*faults.Schedule
+	if s.Faults != nil {
+		faultsByLink = make(map[string]*faults.Schedule, len(s.Faults.Links))
+		for i := range s.Faults.Links {
+			lf := &s.Faults.Links[i]
+			faultsByLink[lf.Link] = &lf.Schedule
+		}
+	}
 	defaultKind := ""
 	for li, l := range t.Links {
 		trace, capacityBps, err := s.resolveLinkService(reg,
@@ -313,6 +327,7 @@ func (s Spec) compileTopologyLinks(reg *Registry, runSeed int64, out *harness.Sc
 			Trace:     trace,
 			TraceLoop: l.TraceLoop,
 			DelayMs:   l.DelayMs,
+			Faults:    faultsByLink[l.Name],
 			NewQueue: func(engine *sim.Engine) (netsim.Queue, error) {
 				e := env
 				e.Engine = engine

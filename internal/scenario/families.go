@@ -1,5 +1,7 @@
 package scenario
 
+import "repro/internal/faults"
+
 // Canonical beyond-dumbbell scenario families. The paper evaluates almost
 // exclusively on the single-bottleneck dumbbell of Figure 2 and leaves "more
 // complicated network paths" open (§7); these three families are the
@@ -36,6 +38,14 @@ type FamilyConfig struct {
 	// links without their own queue spec inherit; 0 keeps the discipline
 	// default.
 	BufferPackets int
+	// OutageSeconds, when positive, blacks out the lossy-outage family's
+	// bottleneck for that long, starting at 40% of the run. Ignored by the
+	// other families.
+	OutageSeconds float64
+	// BurstLoss, when positive, is the lossy-outage family's bad-state drop
+	// probability for its Gilbert–Elliott burst-loss process (good-state loss
+	// stays zero). Ignored by the other families.
+	BurstLoss float64
 }
 
 // rtt returns the family's canonical RTT or the sweep override.
@@ -217,6 +227,51 @@ func FlowChurnSpec(c FamilyConfig) Spec {
 			},
 		}),
 	)
+	c.apply(&s)
+	return s
+}
+
+// lossyOutageStartFraction places the lossy-outage family's blackout at 40%
+// of the run: late enough that every scheme has converged to steady state,
+// early enough that the post-recovery behavior is observed for the remaining
+// majority of the run.
+const lossyOutageStartFraction = 0.4
+
+// LossyOutageSpec is the robustness family: the classic single-bottleneck
+// dumbbell (10 Mbps, two responsive flows) under deterministic faults — one
+// mid-run link outage of c.OutageSeconds and, when c.BurstLoss > 0, a
+// Gilbert–Elliott burst-loss process whose bad state drops that fraction of
+// packets. With both knobs zero the spec is a plain fault-free dumbbell, so
+// sweep grids get a built-in control column.
+func LossyOutageSpec(c FamilyConfig) Spec {
+	s := New(
+		WithName("lossyoutage-"+c.Scheme),
+		WithDescription("Lossy outage: 10 Mbps dumbbell, two responsive flows, a mid-run link outage and Gilbert–Elliott burst loss on the bottleneck."),
+		WithLink(c.rate(10e6)),
+		WithDuration(c.DurationSeconds),
+		WithSeed(c.Seed),
+		WithRepetitions(c.Repetitions),
+		WithFlow(c.flow(2, c.rtt(100), nil, nil)),
+	)
+	var sched faults.Schedule
+	if c.OutageSeconds > 0 {
+		sched.Outages = []faults.Outage{{
+			StartS:    lossyOutageStartFraction * c.DurationSeconds,
+			DurationS: c.OutageSeconds,
+		}}
+	}
+	if c.BurstLoss > 0 {
+		// Transition probabilities give mean bursts of 4 packets arriving at
+		// ~4% of packets: p_good_bad 0.01, p_bad_good 0.25.
+		sched.Loss = &faults.GilbertElliott{
+			PGoodBad: 0.01,
+			PBadGood: 0.25,
+			LossBad:  c.BurstLoss,
+		}
+	}
+	if !sched.Empty() {
+		s.Faults = &FaultsSpec{Links: []LinkFaultSpec{{Schedule: sched}}}
+	}
 	c.apply(&s)
 	return s
 }

@@ -361,6 +361,10 @@ func mustRegisterBuiltins(r *Registry) {
 		return aqm.NewXCPQueue(env.Engine, capacityOf(q), env.CapacityBps)
 	}))
 
+	// Deliberate failure injectors for the campaign fail-safe tests; see
+	// chaos.go.
+	registerChaos(r)
+
 	for _, model := range []traces.CellularModel{traces.VerizonLTEModel(), traces.ATTLTEModel()} {
 		m := model
 		name := shortModelName(m.Name)

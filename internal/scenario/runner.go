@@ -137,9 +137,22 @@ func (c *runCache) release() {
 	c.session = nil
 }
 
-// runTask executes one repetition through the worker's cache.
-func (r Runner) runTask(c *runCache, t task) Result {
-	out := Result{SpecIndex: t.si, Rep: t.rep, SpecName: t.spec.Name}
+// runTask executes one repetition through the worker's cache. A panic
+// anywhere in the run — a buggy scheme, a custom queue, the harness itself —
+// is recovered into Result.Err so one poisoned repetition cannot torch a
+// whole campaign; the worker's engine and session are discarded (not
+// returned to the pool) because a panic leaves them in an unknown state.
+func (r Runner) runTask(c *runCache, t task) (out Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.engine = nil
+			c.spec = nil
+			c.session = nil
+			out = Result{SpecIndex: t.si, Rep: t.rep, SpecName: t.spec.Name,
+				Err: fmt.Errorf("scenario: spec %q rep %d: panic: %v", t.spec.Name, t.rep, p)}
+		}
+	}()
+	out = Result{SpecIndex: t.si, Rep: t.rep, SpecName: t.spec.Name}
 	if c.session == nil || c.spec != t.spec || !c.invariant {
 		scn, seed, err := t.spec.Compile(r.registry(), t.rep)
 		if err != nil {

@@ -117,6 +117,11 @@ type Spec struct {
 	// spawns a flow per arrival and retires it on completion, reporting flow
 	// completion times. A spec needs static Flows, a Churn section, or both.
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Faults, when set, attaches deterministic fault schedules (outages,
+	// burst loss, delay spikes, rate droops) to the spec's links. Strictly
+	// additive: a spec without the section schedules the byte-identical event
+	// sequence it always has.
+	Faults *FaultsSpec `json:"faults,omitempty"`
 	// DurationSeconds is the simulated length of each repetition.
 	DurationSeconds float64 `json:"duration_seconds"`
 	// Seed is the base random seed; repetition seeds derive from it.
@@ -186,6 +191,11 @@ func (s Spec) Validate() error {
 	}
 	if s.OnDeliver != nil && s.Reps() > 1 {
 		return fmt.Errorf("scenario: spec %q sets OnDeliver with %d repetitions; the hook would race across workers (use one repetition per spec)", s.Name, s.Reps())
+	}
+	if s.Faults != nil {
+		if err := s.Faults.validate(s.Name, s.Topology); err != nil {
+			return err
+		}
 	}
 	if s.Topology != nil {
 		if err := s.Topology.Validate(s.Name); err != nil {
