@@ -1,0 +1,216 @@
+// Command repolint runs the repository's determinism and hot-path lint
+// suite (internal/lint): detmap, walltime, globalrand, hotalloc and
+// lintdirective.
+//
+// It is two drivers in one binary:
+//
+//   - As a vet tool it speaks the unitchecker protocol, so the full Go
+//     build graph loader does the package loading:
+//
+//     go vet -vettool=$(pwd)/repolint ./...
+//
+//   - Standalone it accepts package patterns directly and re-executes
+//     itself through "go vet -json", merging the per-package JSON into one
+//     sorted finding list:
+//
+//     repolint ./...          # human-readable, exit 1 on findings
+//     repolint -json ./...    # machine-readable [{file,line,col,analyzer,message}]
+//
+// The -json mode exists so future tooling can diff findings across
+// commits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// go vet invokes the tool as "repolint -V=full", "repolint -flags",
+	// then "repolint <dir>/vet.cfg". Anything else is the standalone CLI.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" || arg == "-flags" ||
+			strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(lint.Analyzers...)
+			return // unreachable; Main exits
+		}
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// Finding is one diagnostic in -json output, sorted by (file, line, col,
+// analyzer, message).
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("repolint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repolint [-json] <packages>\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe, "-json"}, patterns...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	findings, perr := parseVetJSON(stderr.Bytes())
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "repolint: cannot parse go vet output: %v\nraw output:\n%s", perr, stderr.String())
+		return 2
+	}
+	if runErr != nil && len(findings) == 0 {
+		// A hard failure (build error, bad pattern) rather than findings.
+		fmt.Fprintf(os.Stderr, "repolint: go vet failed: %v\n%s%s", runErr, stderr.String(), stdout.String())
+		return 2
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		if len(findings) > 0 {
+			fmt.Printf("repolint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetDiag is one diagnostic in go vet -json output:
+//
+//	# package/path
+//	{"package/path": {"analyzer": [{"posn": "/abs/file.go:12:3", "message": "..."}]}}
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// parseVetJSON extracts findings from the interleaved "# pkg" comment lines
+// and JSON objects go vet -json writes to stderr.
+func parseVetJSON(out []byte) ([]Finding, error) {
+	var findings []Finding
+	cwd, _ := os.Getwd()
+	dec := json.NewDecoder(bytes.NewReader(stripComments(out)))
+	for dec.More() {
+		var unit map[string]map[string][]vetDiag
+		if err := dec.Decode(&unit); err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					f := Finding{Analyzer: analyzer, Message: d.Message}
+					f.File, f.Line, f.Col = splitPosn(d.Posn)
+					if cwd != "" {
+						if rel, err := filepath.Rel(cwd, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+							f.File = rel
+						}
+					}
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// stripComments drops the "# package/path" progress lines between JSON
+// objects.
+func stripComments(out []byte) []byte {
+	var b bytes.Buffer
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// splitPosn parses "file.go:line:col" (the col part may be absent).
+func splitPosn(posn string) (file string, line, col int) {
+	rest := posn
+	// Windows drive letters are not a concern on this repo's platforms, so
+	// split from the right.
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			col = n
+			rest = rest[:i]
+		}
+	}
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			line = n
+			rest = rest[:i]
+		}
+	}
+	if line == 0 && col != 0 {
+		line, col = col, 0
+	}
+	return rest, line, col
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSplitPosn(t *testing.T) {
+	cases := []struct {
+		in        string
+		file      string
+		line, col int
+	}{
+		{"/a/b/x.go:12:3", "/a/b/x.go", 12, 3},
+		{"x.go:7", "x.go", 7, 0},
+		{"x.go", "x.go", 0, 0},
+	}
+	for _, c := range cases {
+		file, line, col := splitPosn(c.in)
+		if file != c.file || line != c.line || col != c.col {
+			t.Errorf("splitPosn(%q) = (%q,%d,%d), want (%q,%d,%d)", c.in, file, line, col, c.file, c.line, c.col)
+		}
+	}
+}
+
+func TestParseVetJSON(t *testing.T) {
+	out := []byte(`# pkg/a
+{
+	"pkg/a": {
+		"detmap": [
+			{"posn": "/x/a.go:5:2", "message": "range over map"}
+		]
+	}
+}
+# pkg/b
+{
+	"pkg/b": {
+		"walltime": [
+			{"posn": "/x/b.go:9:1", "message": "time.Now"}
+		]
+	}
+}
+`)
+	findings, err := parseVetJSON(out)
+	if err != nil {
+		t.Fatalf("parseVetJSON: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+}
+
+func TestParseVetJSONEmpty(t *testing.T) {
+	findings, err := parseVetJSON([]byte("# pkg/a\n"))
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("got (%v, %v), want no findings, no error", findings, err)
+	}
+}
+
+// TestEndToEnd builds the repolint binary, fabricates a module with one
+// result-affecting package containing a detmap violation, and checks both
+// output modes of the standalone driver against it.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "repolint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(dir, "mod")
+	if err := os.MkdirAll(filepath.Join(mod, "sim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tmplint\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "sim", "x.go"), `package sim
+
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+`)
+
+	run := exec.Command(bin, "-json", "./...")
+	run.Dir = mod
+	out, err := run.Output()
+	if err == nil {
+		t.Fatalf("expected exit 1 on findings, got success; output:\n%s", out)
+	}
+	var findings []Finding
+	if jerr := json.Unmarshal(out, &findings); jerr != nil {
+		t.Fatalf("bad -json output: %v\n%s", jerr, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "detmap" || f.Line != 5 || filepath.ToSlash(f.File) != "sim/x.go" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if !strings.Contains(f.Message, "nondeterministic iteration order") {
+		t.Errorf("unexpected message: %s", f.Message)
+	}
+
+	// A suppression with a reason silences it; the driver then exits 0.
+	writeFile(t, filepath.Join(mod, "sim", "x.go"), `package sim
+
+func Sum(m map[string]int) int {
+	t := 0
+	//lint:ignore detmap summation is order-insensitive
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+`)
+	run = exec.Command(bin, "./...")
+	run.Dir = mod
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("expected clean exit after suppression, got %v:\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

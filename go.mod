@@ -1,3 +1,7 @@
 module repro
 
 go 1.24
+
+require golang.org/x/tools v0.29.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -87,6 +87,8 @@ func NewCoDelWithParams(capacity int, target, interval sim.Time) (*CoDel, error)
 }
 
 // Enqueue implements netsim.Queue.
+//
+//repo:hotpath per-packet queue admission
 func (q *CoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 	if q.queue.Len() >= q.capacity {
 		q.drops++
@@ -110,6 +112,8 @@ func (q *CoDel) popHead() *netsim.Packet {
 // doDequeue pops the head packet and reports whether its sojourn time is
 // below target (or the queue occupancy is tiny), i.e. whether CoDel should
 // leave the dropping state.
+//
+//repo:hotpath per-packet sojourn bookkeeping
 func (q *CoDel) doDequeue(now sim.Time) (*netsim.Packet, bool) {
 	if q.queue.Len() == 0 {
 		q.firstAboveTime = 0
@@ -145,6 +149,8 @@ func (q *CoDel) exitDropping() {
 }
 
 // Dequeue implements netsim.Queue, applying the CoDel drop law.
+//
+//repo:hotpath per-packet control-law service
 func (q *CoDel) Dequeue(now sim.Time) *netsim.Packet {
 	p, okToDequeue := q.doDequeue(now)
 	if p == nil {

@@ -64,6 +64,8 @@ func NewECNMarking(capacity, markThreshold int) (*DropTail, error) {
 }
 
 // Enqueue implements netsim.Queue.
+//
+//repo:hotpath per-packet queue admission
 func (q *DropTail) Enqueue(p *netsim.Packet, now sim.Time) bool {
 	if q.queue.Len() >= q.capacity {
 		q.drops++
@@ -80,6 +82,8 @@ func (q *DropTail) Enqueue(p *netsim.Packet, now sim.Time) bool {
 }
 
 // Dequeue implements netsim.Queue.
+//
+//repo:hotpath per-packet queue service
 func (q *DropTail) Dequeue(now sim.Time) *netsim.Packet {
 	if q.queue.Len() == 0 {
 		return nil

@@ -88,6 +88,8 @@ func (q *SfqCoDel) bucketFor(flow int) int {
 }
 
 // Enqueue implements netsim.Queue.
+//
+//repo:hotpath per-packet flow-bucket admission
 func (q *SfqCoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 	if q.length >= q.capacity {
 		q.drops++
@@ -110,6 +112,8 @@ func (q *SfqCoDel) Enqueue(p *netsim.Packet, now sim.Time) bool {
 
 // Dequeue implements netsim.Queue, serving buckets by deficit round robin
 // and applying each bucket's CoDel drop law.
+//
+//repo:hotpath per-packet round-robin service
 func (q *SfqCoDel) Dequeue(now sim.Time) *netsim.Packet {
 	for q.active.Len() > 0 {
 		b := q.active.Peek()

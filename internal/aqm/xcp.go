@@ -149,6 +149,8 @@ func (q *XCPQueue) controlTick(now sim.Time) {
 
 // Enqueue implements netsim.Queue and accumulates the per-interval state the
 // efficiency and fairness controllers need.
+//
+//repo:hotpath per-packet admission + header feedback
 func (q *XCPQueue) Enqueue(p *netsim.Packet, now sim.Time) bool {
 	ok := q.fifo.Enqueue(p, now)
 	if !ok {
@@ -172,6 +174,8 @@ func (q *XCPQueue) Enqueue(p *netsim.Packet, now sim.Time) bool {
 
 // Dequeue implements netsim.Queue, writing the allocated feedback into the
 // departing packet's XCP header.
+//
+//repo:hotpath per-packet service
 func (q *XCPQueue) Dequeue(now sim.Time) *netsim.Packet {
 	p := q.fifo.Dequeue(now)
 	if p == nil {

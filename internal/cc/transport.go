@@ -227,6 +227,8 @@ func (t *Transport) effectiveWindow() float64 {
 }
 
 // maybeSend transmits as many packets as the window and pacing allow.
+//
+//repo:hotpath per-ack/per-timer transmission gate
 func (t *Transport) maybeSend(now sim.Time) {
 	if !t.active {
 		return
@@ -257,6 +259,8 @@ func (t *Transport) armPacer(now, at sim.Time) {
 
 // sendOne transmits the next packet: a queued retransmission if any,
 // otherwise new data.
+//
+//repo:hotpath per-packet transmission
 func (t *Transport) sendOne(now sim.Time) {
 	var seq int64
 	retransmit := false
@@ -371,6 +375,8 @@ func (t *Transport) updateRTT(sample sim.Time) {
 }
 
 // OnAck implements netsim.Sender.
+//
+//repo:hotpath per-ack congestion-control dispatch
 func (t *Transport) OnAck(ack netsim.Ack, now sim.Time) {
 	if !t.active {
 		return

@@ -109,6 +109,8 @@ func (t *WhiskerTree) Whisker(index int) (Whisker, error) {
 
 // Lookup finds the rule whose domain contains the (clamped) memory point and
 // returns its index and action. Every point maps to exactly one rule.
+//
+//repo:hotpath per-ack rule match in training inner loop
 func (t *WhiskerTree) Lookup(m Memory) (int, Action) {
 	idx := t.lookup(t.clampToDomain(m))
 	return idx, t.whiskers[idx].Action
@@ -120,6 +122,8 @@ func (t *WhiskerTree) Lookup(m Memory) (int, Action) {
 // walk is skipped entirely (the C++ Remy's most-recently-matched whisker
 // optimization). The result is identical to Lookup's, because whisker
 // domains partition the clamped memory space.
+//
+//repo:hotpath per-ack memoized rule match
 func (t *WhiskerTree) LookupHint(m Memory, hint int) (int, Action) {
 	m = t.clampToDomain(m)
 	if hint >= 0 && hint < len(t.whiskers) && t.whiskers[hint].Domain.Contains(m) {
@@ -130,6 +134,8 @@ func (t *WhiskerTree) LookupHint(m Memory, hint int) (int, Action) {
 }
 
 // lookup descends the flattened octree; m must already be clamped.
+//
+//repo:hotpath octree descent per unmemoized ack
 func (t *WhiskerTree) lookup(m Memory) int {
 	ni := int32(0)
 	for {

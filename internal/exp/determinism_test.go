@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestExperimentDeterminism runs every registered experiment twice
+// in-process at quick fidelity and asserts the two reports are
+// byte-identical — both the rendered text and the full structured result.
+// This is a cheap determinism smoke independent of the golden fixtures: a
+// range over an unsorted map, a wall-clock read, or a draw from global
+// math/rand anywhere in an experiment's path shows up here as a diff
+// between two runs in the same process (Go randomizes map iteration per
+// range statement, so same-process repeats do diverge).
+func TestExperimentDeterminism(t *testing.T) {
+	for _, e := range Experiments() {
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			run := func() (string, []byte) {
+				cfg := QuickRunConfig()
+				rep, err := e.Run(cfg)
+				if err != nil {
+					t.Fatalf("experiment %s: %v", e.ID, err)
+				}
+				structured, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatalf("marshal report: %v", err)
+				}
+				return rep.String(), structured
+			}
+			text1, js1 := run()
+			text2, js2 := run()
+			if text1 != text2 {
+				t.Errorf("experiment %s: rendered report differs between two in-process runs:\n--- first ---\n%s\n--- second ---\n%s", e.ID, text1, text2)
+			}
+			if !bytes.Equal(js1, js2) {
+				t.Errorf("experiment %s: structured report differs between two in-process runs (first %d bytes vs %d bytes)", e.ID, len(js1), len(js2))
+			}
+		})
+	}
+}

@@ -15,8 +15,10 @@ import (
 func loadGeneralPurposeRemyCCs(cfg RunConfig) (map[float64]*core.WhiskerTree, error) {
 	assets := map[float64]string{0.1: AssetRemyDelta01, 1: AssetRemyDelta1, 10: AssetRemyDelta10}
 	out := make(map[float64]*core.WhiskerTree, len(assets))
-	for delta, name := range assets {
-		tree, err := LoadOrTrainRemyCC(cfg.AssetsDir, name, GeneralPurposeTrainSpec(delta, cfg.TrainBudget), cfg.Logf)
+	// Fixed δ order: iterating the map here made progress logs — and, when an
+	// asset is missing, the fallback-training order — vary run to run.
+	for _, delta := range []float64{0.1, 1, 10} {
+		tree, err := LoadOrTrainRemyCC(cfg.AssetsDir, assets[delta], GeneralPurposeTrainSpec(delta, cfg.TrainBudget), cfg.Logf)
 		if err != nil {
 			return nil, err
 		}

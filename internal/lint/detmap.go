@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DetMap flags range statements over maps in result-affecting packages.
+// Go's map iteration order is deliberately randomized, so any result that
+// depends on it differs between runs — the exact bug class PR 2 found in
+// retransmission ordering. The one allowed form is the collect-then-sort
+// idiom, a loop body that only appends to a slice:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// Anything else must sort keys first or carry
+// //lint:ignore detmap <reason> explaining why order cannot matter.
+var DetMap = &analysis.Analyzer{
+	Name:     "detmap",
+	Doc:      "flags nondeterministic map iteration in result-affecting packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetMap,
+}
+
+func runDetMap(pass *analysis.Pass) (any, error) {
+	if !inResultAffectingPackage(pass) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	supp := collectSuppressions(pass)
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rng := n.(*ast.RangeStmt)
+		if isTestFile(pass, rng.Pos()) {
+			return
+		}
+		tv := pass.TypesInfo.TypeOf(rng.X)
+		if tv == nil {
+			return
+		}
+		if _, ok := tv.Underlying().(*types.Map); !ok {
+			return
+		}
+		if isCollectOnlyBody(rng.Body) {
+			return
+		}
+		supp.report(pass, rng.Pos(), "detmap",
+			"range over map has nondeterministic iteration order; sort the keys first (or //lint:ignore detmap <reason> if order provably cannot affect results)")
+	})
+	return nil, nil
+}
+
+// isCollectOnlyBody reports whether every statement in the loop body is an
+// append-to-slice assignment (s = append(s, ...)), the canonical
+// harvest-keys-for-sorting idiom whose result is order-insensitive once
+// sorted.
+func isCollectOnlyBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		// The destination must be the same variable being appended to:
+		// s = append(s, ...) — a pure accumulation.
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		base, ok := call.Args[0].(*ast.Ident)
+		if !ok || base.Name != lhs.Name {
+			return false
+		}
+	}
+	return true
+}

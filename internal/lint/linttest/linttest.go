@@ -1,0 +1,231 @@
+// Package linttest is a miniature analysistest: it loads a fixture package
+// from a testdata directory, type-checks it against the standard library
+// (source importer, so no network or prebuilt export data is needed), runs
+// an analyzer together with its Requires chain, and compares the reported
+// diagnostics against // want "regexp" comments on the offending lines.
+//
+// golang.org/x/tools/go/analysis/analysistest itself depends on
+// go/packages, which is not part of the toolchain-vendored subset this
+// repository builds against; this package provides the same contract for
+// the repolint suite's needs.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads every .go file under dir as one package whose import path is
+// pkgpath, runs a (and its transitive Requires), and asserts that the
+// diagnostics match the fixture's // want comments. A line with no want
+// comment must produce no diagnostic; every want regexp must be matched by
+// a diagnostic on its line.
+//
+// The fixture's package path matters: repolint analyzers scope themselves
+// by import-path elements (e.g. detmap only fires in result-affecting
+// packages), so fixtures opt in by naming their directory after a policed
+// element ("sim", "netsim") or opt out with a neutral name ("cold").
+func Run(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	diags, fset, files := runOnDir(t, dir, pkgpath, a)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{filepath.Base(p.Filename), p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	matched := make(map[key][]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants := parseWants(t, c.Text)
+				if len(wants) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := key{filepath.Base(p.Filename), p.Line}
+				for _, w := range wants {
+					re, err := regexp.Compile(w)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, w, err)
+					}
+					found := false
+					for i, msg := range got[k] {
+						if re.MatchString(msg) {
+							found = true
+							for len(matched[k]) <= i {
+								matched[k] = append(matched[k], false)
+							}
+							matched[k][i] = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("%s:%d: no diagnostic matching want %q (got %v)", k.file, k.line, w, got[k])
+					}
+				}
+			}
+		}
+	}
+	// Every diagnostic must have been demanded by a want on its line.
+	keys := make([]key, 0, len(got))
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for i, msg := range got[k] {
+			if len(matched[k]) <= i || !matched[k][i] {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+			}
+		}
+	}
+}
+
+// wantRe extracts the quoted regexps of a want marker; both "..." (with
+// backslash escapes) and `...` forms are accepted, as in analysistest.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// parseWants finds a want marker anywhere in the comment — either the
+// whole comment is "// want ..." or it trails another comment's text, as
+// in directive fixtures ("//lint:ignore detmap // want `...`").
+func parseWants(t *testing.T, comment string) []string {
+	t.Helper()
+	text := strings.TrimPrefix(comment, "//")
+	if i := strings.Index(text, "// want "); i >= 0 {
+		text = text[i+len("// "):]
+	}
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	var out []string
+	for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+		s := m[2]
+		if m[1] != "" || m[2] == "" {
+			var err error
+			s, err = unescape(m[1])
+			if err != nil {
+				t.Fatalf("bad want string %q: %v", m[1], err)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func unescape(s string) (string, error) {
+	// The only escapes fixtures need are \" and \\.
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			if i >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// runOnDir parses, type-checks and analyzes one fixture package.
+func runOnDir(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no .go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-check %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var runOne func(a *analysis.Analyzer, record bool)
+	runOne = func(a *analysis.Analyzer, record bool) {
+		for _, dep := range a.Requires {
+			if _, done := results[dep]; !done {
+				runOne(dep, false)
+			}
+		}
+		resultOf := make(map[*analysis.Analyzer]any, len(a.Requires))
+		for _, dep := range a.Requires {
+			resultOf[dep] = results[dep]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: conf.Sizes,
+			ResultOf:   resultOf,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if record {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	runOne(a, true)
+	return diags, fset, files
+}

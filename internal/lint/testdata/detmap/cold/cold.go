@@ -1,0 +1,11 @@
+// Package cold is outside the result-affecting set, so detmap stays quiet
+// even on a bare map range.
+package cold
+
+func unpoliced(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

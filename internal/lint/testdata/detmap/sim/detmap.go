@@ -1,0 +1,45 @@
+// Package sim is a detmap fixture: its import path ends in "sim", a
+// result-affecting element, so range-over-map is policed here.
+package sim
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+func flaggedKeyOnly(m map[string]int, sink func(string)) {
+	for k := range m { // want `range over map has nondeterministic iteration order`
+		sink(k)
+	}
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanSliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	//lint:ignore detmap counting entries; the sum is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}

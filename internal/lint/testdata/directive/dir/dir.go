@@ -1,0 +1,44 @@
+// Package dir exercises lintdirective: every //lint:ignore must name a
+// known analyzer and carry a reason.
+package dir
+
+func missingReason(m map[string]int) int {
+	n := 0
+	//lint:ignore detmap // want `malformed //lint:ignore directive: missing reason`
+	for range m {
+		n++
+	}
+	return n
+}
+
+func wrongAnalyzer(m map[string]int) int {
+	n := 0
+	//lint:ignore detmapp counting entries // want `malformed //lint:ignore directive: unknown analyzer "detmapp"`
+	for range m {
+		n++
+	}
+	return n
+}
+
+func missingEverything() {
+	//lint:ignore // want `malformed //lint:ignore directive: missing analyzer name and reason`
+	_ = 0
+}
+
+func valid(m map[string]int) int {
+	n := 0
+	//lint:ignore detmap counting entries; the count is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func multiAnalyzer(m map[string]int) int {
+	n := 0
+	//lint:ignore detmap,walltime shared fixture reason for two analyzers
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+// Package suppression proves the lifecycle of a //lint:ignore against a
+// live analyzer (detmap, via a result-affecting package path): a valid
+// directive silences the finding, a malformed one does not.
+package suppression
+
+func validDirectiveSuppresses(m map[string]int) int {
+	n := 0
+	//lint:ignore detmap counting entries; the count is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func missingReasonDoesNotSuppress(m map[string]int) int {
+	n := 0
+	//lint:ignore detmap
+	for range m { // want `range over map has nondeterministic iteration order`
+		n++
+	}
+	return n
+}
+
+func wrongAnalyzerDoesNotSuppress(m map[string]int) int {
+	n := 0
+	//lint:ignore walltime reason aimed at the wrong analyzer
+	for range m { // want `range over map has nondeterministic iteration order`
+		n++
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+// Package app is a globalrand fixture: an ordinary package where neither
+// the global math/rand functions nor raw generator construction is allowed.
+package app
+
+import "math/rand"
+
+func flaggedGlobal() int {
+	return rand.Intn(10) // want `rand\.Intn uses process-global math/rand state`
+}
+
+func flaggedGlobalFloat() float64 {
+	return rand.Float64() // want `rand\.Float64 uses process-global math/rand state`
+}
+
+func flaggedConstructor() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `rand\.New constructs a raw generator` `rand\.NewSource constructs a raw generator`
+}
+
+// cleanMethod consumes an explicit generator; where it came from is the
+// construction site's problem, not the call site's.
+func cleanMethod(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func suppressed() int {
+	//lint:ignore globalrand fixture demonstrates a sanctioned draw
+	return rand.Intn(10)
+}

@@ -1,0 +1,14 @@
+package app
+
+import "math/rand"
+
+// cleanSeededInTest: _test.go files may construct seeded local generators.
+func cleanSeededInTest() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// But the process-global draw functions stay forbidden even in tests: they
+// share unseeded state across goroutines.
+func flaggedGlobalInTest() int {
+	return rand.Intn(10) // want `rand\.Intn uses process-global math/rand state`
+}

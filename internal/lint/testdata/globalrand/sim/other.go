@@ -1,0 +1,9 @@
+package sim
+
+import "math/rand"
+
+// Outside rng.go even the sim package itself may not construct raw
+// generators.
+func flaggedElsewhereInSim() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want `rand\.New constructs a raw generator` `rand\.NewSource constructs a raw generator`
+}

@@ -1,0 +1,11 @@
+// Package sim's rng.go is the one sanctioned home of raw math/rand: the
+// seeded, splittable RNG wrapper is built here.
+package sim
+
+import "math/rand"
+
+type RNG struct{ r *rand.Rand }
+
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}

@@ -1,0 +1,43 @@
+// Package hot is a hotalloc fixture: only functions annotated
+// //repo:hotpath are policed.
+package hot
+
+import "fmt"
+
+// deliver is the annotated hot function with one of each violation.
+//
+//repo:hotpath fixture hot path
+func deliver(xs []int, sink func(func())) []int {
+	sink(func() {})    // want `closure literal in //repo:hotpath function allocates`
+	fmt.Println(xs)    // want `fmt\.Println in //repo:hotpath function allocates`
+	xs = append(xs, 1) // want `append in //repo:hotpath function may grow the backing array`
+	return xs
+}
+
+// preallocated appends strictly into make(..., cap) capacity: clean.
+//
+//repo:hotpath fixture hot path
+func preallocated(n int) []int {
+	out := make([]int, 0, 16)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// suppressedHot carries reasons for its cold inner paths.
+//
+//repo:hotpath fixture hot path
+func suppressedHot(xs []int) []int {
+	//lint:ignore hotalloc fixture demonstrates a sanctioned cold-path append
+	xs = append(xs, 1)
+	return xs
+}
+
+// cold is unannotated: hotalloc ignores it entirely.
+func cold(sink func(func())) {
+	sink(func() {})
+	fmt.Println("cold path")
+	var xs []int
+	_ = append(xs, 1)
+}

@@ -1,0 +1,27 @@
+// Package netsim is a walltime fixture: a simulation package where wall
+// clock reads are forbidden.
+package netsim
+
+import "time"
+
+func flaggedNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock in a simulation package`
+}
+
+func flaggedSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock in a simulation package`
+}
+
+func flaggedTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock in a simulation package`
+}
+
+// cleanDuration uses time only for unit arithmetic, which is pure.
+func cleanDuration(d time.Duration) float64 {
+	return d.Seconds() + time.Millisecond.Seconds()
+}
+
+func suppressed() {
+	//lint:ignore walltime fixture exercises a sanctioned watchdog-style sleep
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// WallTime forbids reading or waiting on the wall clock inside simulation
+// packages. Simulated time is sim.Time, advanced only by the event engine;
+// a time.Now or time.Sleep in a simulation path makes results depend on
+// host speed and scheduling, breaking byte-identical replay. The campaign
+// package (wall-clock watchdogs around simulations) and cmd/ are outside
+// the checked set.
+var WallTime = &analysis.Analyzer{
+	Name:     "walltime",
+	Doc:      "forbids wall-clock time functions in simulation packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runWallTime,
+}
+
+// wallClockFuncs are the package-level time functions that observe or wait
+// on the wall clock. Pure conversions and constants (time.Duration,
+// time.Unix, time.Parse) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
+func runWallTime(pass *analysis.Pass) (any, error) {
+	if !inSimulationPackage(pass) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	supp := collectSuppressions(pass)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if isTestFile(pass, sel.Pos()) {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return
+		}
+		if fn.Signature().Recv() != nil || !wallClockFuncs[fn.Name()] {
+			return
+		}
+		supp.report(pass, sel.Pos(), "walltime",
+			"time."+fn.Name()+" reads the wall clock in a simulation package; use the event engine's sim.Time instead (or //lint:ignore walltime <reason>)")
+	})
+	return nil, nil
+}

@@ -164,6 +164,8 @@ func (l *Link) Utilization(horizon sim.Time) float64 {
 
 // Offer notifies the link that a packet was enqueued. Fixed-rate links start
 // serving if idle; trace-driven links ignore it (their schedule is fixed).
+//
+//repo:hotpath called on every enqueue
 func (l *Link) Offer(now sim.Time) {
 	if l.trace != nil || l.busy {
 		return
@@ -171,6 +173,7 @@ func (l *Link) Offer(now sim.Time) {
 	l.serveNext(now)
 }
 
+//repo:hotpath per-packet service start
 func (l *Link) serveNext(now sim.Time) {
 	if l.faults != nil {
 		if down, until := l.faults.Outage(now); down {
@@ -200,6 +203,8 @@ func (l *Link) serveNext(now sim.Time) {
 // released and rescheduled — back-to-back transmissions at a saturated
 // bottleneck, the hottest event pattern in the simulator, reuse a single
 // engine slot for the whole burst.
+//
+//repo:hotpath per-packet service completion
 func (l *Link) onServiceDone(t sim.Time) {
 	p := l.serving
 	l.serving = nil
@@ -256,6 +261,8 @@ func (l *Link) scheduleNextOpportunity(now sim.Time, rearm bool) {
 // onOpportunity serves one delivery opportunity of a trace-driven link; an
 // empty queue wastes the opportunity, exactly as in the paper's setup. The
 // opportunity event rearms itself in place for the next trace instant.
+//
+//repo:hotpath per-opportunity trace-link service
 func (l *Link) onOpportunity(t sim.Time) {
 	if l.faults != nil {
 		if down, _ := l.faults.Outage(t); down {

@@ -423,6 +423,8 @@ func (n *Network) MinRTT(flow int) sim.Time {
 // onLinkDelivered runs when a link completes service of a packet: the packet
 // propagates over the link's delay toward the next hop of its route, or — at
 // the last hop — toward the flow's receiver (data) or sender (ack).
+//
+//repo:hotpath per-packet bottleneck exit
 func (n *Network) onLinkDelivered(l *Link, p *Packet, now sim.Time) {
 	delay := l.delay
 	if l.faults != nil {
@@ -459,6 +461,8 @@ func (n *Network) onLinkDelivered(l *Link, p *Packet, now sim.Time) {
 
 // onHopArrived runs when a packet reaches an intermediate hop of its route:
 // it joins that link's queue (or is dropped there).
+//
+//repo:hotpath per-packet multi-hop forwarding
 func (n *Network) onHopArrived(t sim.Time, arg any) {
 	p := arg.(*Packet)
 	port := n.flows[p.Flow]
@@ -488,6 +492,8 @@ func (n *Network) onHopArrived(t sim.Time, arg any) {
 // notify observers, recycle the packet, and send the acknowledgment back —
 // over pure delay when the flow has no reverse links, or as an ack packet
 // entering the first reverse link's queue.
+//
+//repo:hotpath per-packet receiver delivery
 func (n *Network) onPropagated(t sim.Time, arg any) {
 	p := arg.(*Packet)
 	port := n.flows[p.Flow]
@@ -526,12 +532,15 @@ func (n *Network) onPropagated(t sim.Time, arg any) {
 
 // onAckReturned delivers a pure-delay acknowledgment to its sender after the
 // reverse propagation delay.
+//
+//repo:hotpath per-ack delivery to the sender
 func (n *Network) onAckReturned(t sim.Time, arg any) {
 	ac := arg.(*ackCarrier)
 	port, ack, gen := ac.port, ac.ack, ac.gen
 	ac.port = nil
 	ac.ack = Ack{}
 	ac.gen = 0
+	//lint:ignore hotalloc free-list push returns a carrier taken from this same list; capacity is steady once warm
 	n.ackFree = append(n.ackFree, ac)
 	if !port.attached || port.gen != gen {
 		return // flow detached while the ack was propagating
@@ -541,6 +550,8 @@ func (n *Network) onAckReturned(t sim.Time, arg any) {
 
 // onAckPacketReturned delivers an acknowledgment that crossed the flow's
 // reverse links to its sender.
+//
+//repo:hotpath per-ack reverse-path delivery
 func (n *Network) onAckPacketReturned(t sim.Time, arg any) {
 	p := arg.(*Packet)
 	port := n.flows[p.Flow]
@@ -647,6 +658,8 @@ func (p *Port) NewConnection() {
 // Send transmits a packet from this flow's sender into its first-hop queue.
 // The packet's Flow field is overwritten with the port's flow id. It returns
 // false if the first hop dropped the packet on arrival.
+//
+//repo:hotpath per-packet entry into the network
 func (p *Port) Send(pkt *Packet, now sim.Time) bool {
 	if !p.attached {
 		// A detached flow's sender must not inject traffic; recycle silently

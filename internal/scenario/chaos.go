@@ -49,6 +49,7 @@ func registerChaos(r *Registry) {
 	must(r.RegisterProtocol(Protocol{
 		Name: "chaos/hang",
 		New: func() cc.Algorithm {
+			//lint:ignore walltime chaos/hang exists to stall on the wall clock and trip the campaign watchdog
 			return &chaosAlgorithm{name: "chaos/hang", onReset: func() { time.Sleep(chaosHangSleep) }}
 		},
 	}))

@@ -258,12 +258,15 @@ func (r *Registry) Clone() *Registry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := NewRegistry()
+	//lint:ignore detmap map-to-map copy keyed identically; iteration order is unobservable
 	for name, f := range r.protocols {
 		out.protocols[name] = f
 	}
+	//lint:ignore detmap map-to-map copy keyed identically; iteration order is unobservable
 	for name, f := range r.queues {
 		out.queues[name] = f
 	}
+	//lint:ignore detmap map-to-map copy keyed identically; iteration order is unobservable
 	for name, m := range r.links {
 		out.links[name] = m
 	}

@@ -197,6 +197,8 @@ func (e *Engine) bucketFor(at Time) int {
 
 // insert places an already-filled slot into the calendar or the overflow
 // rung according to its time.
+//
+//repo:hotpath per-event calendar placement
 func (e *Engine) insert(idx int32) {
 	s := &e.slots[idx]
 	if e.width == 0 || s.at >= e.threshold {
@@ -213,11 +215,13 @@ func (e *Engine) insert(idx int32) {
 		// prefix — once cur moves away, curHead no longer guards it.
 		if e.curSorted && e.curHead > 0 {
 			old := e.buckets[e.cur]
+			//lint:ignore hotalloc compacts in place into the bucket's existing backing array
 			e.buckets[e.cur] = append(old[:0], old[e.curHead:]...)
 		}
 		e.cur = b
 		e.curSorted = false
 		e.curHead = 0
+		//lint:ignore hotalloc bucket slices keep their capacity across Reset; append is amortized-free once warm
 		e.buckets[b] = append(e.buckets[b], en)
 		return
 	}
@@ -228,6 +232,7 @@ func (e *Engine) insert(idx int32) {
 		// current tail appends, O(1) — the common case both for ascending
 		// service-completion times and equal-timestamp storms.
 		if en.at >= bk[len(bk)-1].at {
+			//lint:ignore hotalloc bucket slices keep their capacity across Reset; append is amortized-free once warm
 			e.buckets[b] = append(bk, en)
 			return
 		}
@@ -244,6 +249,7 @@ func (e *Engine) insert(idx int32) {
 				e.overflowPush(idx)
 				return
 			}
+			//lint:ignore hotalloc post-split placement; buckets reuse retained capacity
 			e.buckets[e.bucketFor(en.at)] = append(e.buckets[e.bucketFor(en.at)], en)
 			return
 		}
@@ -257,12 +263,14 @@ func (e *Engine) insert(idx int32) {
 				hi = mid
 			}
 		}
+		//lint:ignore hotalloc grows into the sorted bucket's retained capacity before the shift-insert
 		bk = append(bk, bucketEntry{})
 		copy(bk[lo+1:], bk[lo:])
 		bk[lo] = en
 		e.buckets[b] = bk
 		return
 	}
+	//lint:ignore hotalloc bucket slices keep their capacity across Reset; append is amortized-free once warm
 	e.buckets[b] = append(e.buckets[b], en)
 }
 
@@ -474,6 +482,8 @@ func (e *Engine) splitRebuild() {
 // first readies the earliest pending event for inspection and returns its
 // slot index, or -1 when the queue is empty. After it returns >= 0, the
 // entry is buckets[cur][curHead] with curSorted set.
+//
+//repo:hotpath per-event dispatch: next-event selection
 func (e *Engine) first() int32 {
 	for {
 		if e.inBuckets == 0 {
@@ -567,6 +577,8 @@ func (e *Engine) sortBucket(bk []bucketEntry) {
 // popFirst removes the entry readied by first, eagerly retiring the bucket
 // once its last entry is popped so no popped index ever lingers where a
 // rebuild or cur rewind could resurface it.
+//
+//repo:hotpath per-event dispatch: queue pop
 func (e *Engine) popFirst() {
 	e.curHead++
 	e.inBuckets--
@@ -608,8 +620,10 @@ func (e *Engine) ScheduleAfter(delay Time, fn func(now Time)) EventID {
 	return e.Schedule(e.now+delay, fn)
 }
 
+//repo:hotpath every event scheduled in a simulation passes through here
 func (e *Engine) schedule(at Time, fn func(Time), argFn func(Time, any), arg any) EventID {
 	if at < e.now {
+		//lint:ignore hotalloc panic-path formatting; a causality violation aborts the run
 		panic(fmt.Sprintf("sim: Schedule in the past: at=%v now=%v", at, e.now))
 	}
 	idx := e.alloc()
@@ -638,6 +652,7 @@ func (e *Engine) Reschedule(id EventID, at Time, fn func(now Time)) EventID {
 		panic("sim: Reschedule called with nil callback")
 	}
 	if at < e.now {
+		//lint:ignore hotalloc panic-path formatting; a causality violation aborts the run
 		panic(fmt.Sprintf("sim: Schedule in the past: at=%v now=%v", at, e.now))
 	}
 	if id.gen != 0 && int(id.slot) < len(e.slots) {
@@ -683,6 +698,8 @@ func (e *Engine) Reschedule(id EventID, at Time, fn func(now Time)) EventID {
 // cancels the rearmed occurrence. Recurring per-packet events (link service
 // completions) use this to turn schedule/fire/release churn into one
 // long-lived slot.
+//
+//repo:hotpath per-packet link service retargeting
 func (e *Engine) Rearm(at Time) EventID {
 	if !e.inCallback {
 		panic("sim: Rearm called outside an executing event callback")
@@ -691,6 +708,7 @@ func (e *Engine) Rearm(at Time) EventID {
 		panic("sim: Rearm called twice from one event callback")
 	}
 	if at < e.now {
+		//lint:ignore hotalloc panic-path formatting; a causality violation aborts the run
 		panic(fmt.Sprintf("sim: Schedule in the past: at=%v now=%v", at, e.now))
 	}
 	e.rearmed = true
