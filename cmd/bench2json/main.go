@@ -38,6 +38,24 @@ type Output struct {
 	Benchmarks []Benchmark       `json:"benchmarks"`
 }
 
+// stripProcSuffix removes the "-N" GOMAXPROCS suffix the testing package
+// appends to benchmark names whenever GOMAXPROCS != 1. Without this, the
+// same benchmark is named "BenchmarkX" on a 1-CPU machine and "BenchmarkX-8"
+// on an 8-CPU one, and benchgate's name matching silently breaks across
+// runner classes.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 // parseBench parses one "BenchmarkName  N  value unit  value unit ..." line.
 func parseBench(line string) (Benchmark, bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
@@ -51,7 +69,7 @@ func parseBench(line string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	b := Benchmark{Name: stripProcSuffix(fields[0]), Iterations: iters, Metrics: make(map[string]float64)}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

@@ -10,16 +10,31 @@
 // Or specify the model by hand:
 //
 //	remy -senders 1:16 -rate 10e6:20e6 -rtt 100:200 -delta 1 -out my.json
+//
+// Training can fan specimen simulations out over worker processes; the same
+// binary is the worker (-worker, spawned automatically):
+//
+//	remy -preset delta1 -distribute 4 -out my.json
+//
+// A distributed run trains the exact same tree, byte for byte, as an
+// in-process run with the same seed, and composes with -checkpoint/-resume:
+// a run checkpointed in-process can resume distributed and vice versa.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/exp"
 	"repro/internal/optimizer"
 	"repro/internal/sim"
@@ -64,6 +79,69 @@ func presetSpec(name string, budget float64) (exp.TrainSpec, error) {
 	}
 }
 
+// effectiveWorkers mirrors the optimizer's default so the coordinator can
+// split one machine's parallelism across its worker processes.
+func effectiveWorkers(flagValue int) int {
+	if flagValue > 0 {
+		return flagValue
+	}
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runWorker is the -worker mode: speak the distrib protocol on stdio until
+// the coordinator closes the stream. Exit code 3 marks a chaos exit (the
+// -worker-exit-after test hook), so accidental crashes stay distinguishable.
+func runWorker(parallel, exitAfter int) {
+	err := distrib.Serve(os.Stdin, os.Stdout, distrib.ServeOptions{
+		Parallel:         parallel,
+		ExitAfterBatches: exitAfter,
+		Logf:             log.Printf,
+	})
+	switch err {
+	case nil:
+		os.Exit(0)
+	case distrib.ErrChaosExit:
+		log.Printf("remy worker %d: chaos exit after %d batches", os.Getpid(), exitAfter)
+		os.Exit(3)
+	default:
+		log.Fatalf("remy worker %d: %v", os.Getpid(), err)
+	}
+}
+
+// benchEntry and benchOutput mirror cmd/bench2json's JSON schema, so a
+// -bench-json file drops straight into the benchgate/CI tooling.
+type benchEntry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchOutput struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []benchEntry      `json:"benchmarks"`
+}
+
+func writeBenchJSON(path string, entries []benchEntry) error {
+	out := benchOutput{
+		Context: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"pkg":    "repro/cmd/remy",
+			"cpu":    fmt.Sprintf("%d logical CPUs", runtime.NumCPU()),
+		},
+		Benchmarks: entries,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	log.SetFlags(0)
 	preset := flag.String("preset", "", "built-in design model: delta0.1, delta1, delta10, 1x, 10x, dc, compete")
@@ -79,6 +157,19 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "path to save the tree + training state after every round (long runs survive interruption)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from the -checkpoint files")
 
+	distribute := flag.Int("distribute", 0, "fan specimen simulations out over this many local worker processes (0 = in-process); the trained tree is identical either way")
+	batchTimeout := flag.Duration("batch-timeout", 0, "watchdog on one distributed batch dispatch (0 = 5m)")
+	batchRetries := flag.Int("batch-retries", 2, "re-dispatch attempts after a worker crash before the run aborts")
+	chaosKillWorker := flag.Bool("chaos-kill-worker", false, "testing: the first incarnation of worker 0 exits mid-round after two batches (exercises respawn + re-dispatch)")
+
+	workerMode := flag.Bool("worker", false, "run as an evaluation worker speaking the distrib protocol on stdio (spawned by -distribute; not for interactive use)")
+	workerParallel := flag.Int("worker-parallel", 1, "worker mode: inner concurrent simulations")
+	workerExitAfter := flag.Int("worker-exit-after", 0, "worker mode, testing: exit without answering after this many batches (negative: before the first)")
+
+	benchJSON := flag.String("bench-json", "", "write per-round timing/throughput to this path in bench2json schema")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the design run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after training) to this path")
+
 	senders := flag.String("senders", "1:8", "sender count range lo:hi (custom model)")
 	rate := flag.String("rate", "10e6:20e6", "link rate range in bps lo:hi (custom model)")
 	rtt := flag.String("rtt", "100:200", "RTT range in ms lo:hi (custom model)")
@@ -86,6 +177,22 @@ func main() {
 	duration := flag.Float64("duration", 5, "specimen duration in seconds (custom model)")
 	specimens := flag.Int("specimens", 4, "specimens per evaluation (custom model)")
 	flag.Parse()
+
+	if *workerMode {
+		runWorker(*workerParallel, *workerExitAfter)
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("remy: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("remy: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var spec exp.TrainSpec
 	if *preset != "" {
@@ -125,6 +232,79 @@ func main() {
 	r.ImprovementIters = *iters
 	r.MaxRules = *maxRules
 	r.Logf = log.Printf
+
+	// Per-round observability: wall-clock, simulation throughput and the
+	// evaluation pipeline's cache/prune effectiveness, on stderr as the run
+	// goes — and optionally as a bench2json file for the CI tooling.
+	var benchEntries []benchEntry
+	roundStart := time.Now()
+	r.OnRound = func(p optimizer.Progress) {
+		dt := time.Since(roundStart)
+		roundStart = time.Now()
+		secs := dt.Seconds()
+		simsPerSec := 0.0
+		if secs > 0 {
+			simsPerSec = float64(p.Stats.SimulatedRuns) / secs
+		}
+		log.Printf("round %d: %.2fs wall, %d sims (%.1f sims/s), cache hit %.1f%%, pruned %.1f%%",
+			p.Round, secs, p.Stats.SimulatedRuns, simsPerSec,
+			100*p.Stats.CacheHitRate(), 100*p.Stats.PruneRate())
+		if *benchJSON != "" {
+			benchEntries = append(benchEntries, benchEntry{
+				Name:       fmt.Sprintf("TrainRound/round=%d", p.Round),
+				Iterations: 1,
+				Metrics: map[string]float64{
+					"ns/op":       float64(dt.Nanoseconds()),
+					"sims/op":     float64(p.Stats.SimulatedRuns),
+					"sims/sec":    simsPerSec,
+					"cache-hit-%": 100 * p.Stats.CacheHitRate(),
+					"prune-%":     100 * p.Stats.PruneRate(),
+				},
+			})
+		}
+	}
+
+	if *distribute > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatalf("remy: locating own binary for -distribute: %v", err)
+		}
+		// Split the machine's parallelism across the fleet: N processes with
+		// effectiveWorkers/N inner goroutines each keeps the total simulation
+		// concurrency at the -workers level regardless of N.
+		inner := effectiveWorkers(*workers) / *distribute
+		if inner < 1 {
+			inner = 1
+		}
+		pf := distrib.ProcessFactory{
+			Path: exe,
+			Args: []string{"-worker", fmt.Sprintf("-worker-parallel=%d", inner)},
+		}
+		if *chaosKillWorker {
+			pf.ArgsFor = func(slot, attempt int) []string {
+				if slot == 0 && attempt == 0 {
+					return []string{"-worker-exit-after=2"}
+				}
+				return nil
+			}
+		}
+		retries := *batchRetries
+		if retries <= 0 {
+			retries = -1 // distrib.Options: negative means zero retries
+		}
+		coord, err := distrib.NewCoordinator(pf, distrib.Options{
+			Procs:        *distribute,
+			BatchTimeout: *batchTimeout,
+			Retries:      retries,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("remy: starting worker fleet: %v", err)
+		}
+		defer coord.Close()
+		r.Backend = coord
+		log.Printf("distributing evaluation over %d worker processes (%d inner sims each)", *distribute, inner)
+	}
 
 	log.Printf("designing RemyCC: objective {%v}, model senders=[%d,%d] rate=%v rtt=%v, %d specimens of %v",
 		spec.Objective, spec.Config.MinSenders, spec.Config.MaxSenders,
@@ -196,4 +376,22 @@ func main() {
 		log.Fatalf("remy: writing %s: %v", *out, err)
 	}
 	log.Printf("wrote %s (%d rules)", *out, tree.NumWhiskers())
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, benchEntries); err != nil {
+			log.Fatalf("remy: writing %s: %v", *benchJSON, err)
+		}
+		log.Printf("wrote %s (%d rounds)", *benchJSON, len(benchEntries))
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("remy: -memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("remy: -memprofile: %v", err)
+		}
+	}
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// The e2e tests drive the real CLI binary: TestMain re-execs the test binary
+// as `remy` when the env gate is set, so subprocess runs go through the
+// genuine main() — including -worker mode, which the spawned coordinator
+// process reaches through os.Executable() with the gate inherited from its
+// environment.
+
+const mainEnvGate = "REMY_E2E_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(mainEnvGate) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// remyCmd builds an *exec.Cmd that runs the CLI with the given args.
+func remyCmd(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), mainEnvGate+"=1")
+	return cmd
+}
+
+// e2eModel is a tiny custom design model: quick enough for subprocess runs,
+// non-trivial enough that every round performs real candidate evaluations.
+func e2eModel() []string {
+	return []string{
+		"-senders", "1:2", "-rate", "10e6", "-rtt", "100:150",
+		"-duration", "1", "-specimens", "2", "-seed", "7", "-workers", "2",
+	}
+}
+
+func train(t *testing.T, out string, extra ...string) []byte {
+	t.Helper()
+	args := append(e2eModel(), "-out", out)
+	args = append(args, extra...)
+	cmdOut, err := remyCmd(t, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("remy %v failed: %v\n%s", args, err, cmdOut)
+	}
+	tree, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("no output tree: %v\n%s", err, cmdOut)
+	}
+	return tree
+}
+
+func TestDistributeMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e subprocess test")
+	}
+	dir := t.TempDir()
+	local := train(t, filepath.Join(dir, "local.json"), "-rounds", "3")
+	dist := train(t, filepath.Join(dir, "dist.json"), "-rounds", "3", "-distribute", "2")
+	if !bytes.Equal(local, dist) {
+		t.Fatal("-distribute 2 trained a different tree than the in-process run")
+	}
+	chaos := train(t, filepath.Join(dir, "chaos.json"), "-rounds", "3", "-distribute", "2", "-chaos-kill-worker")
+	if !bytes.Equal(local, chaos) {
+		t.Fatal("killing a worker mid-round changed the trained tree")
+	}
+}
+
+// TestResumeAcrossModeSwitch pins that -checkpoint/-resume compose with
+// -distribute byte for byte, in both directions: a run checkpointed
+// in-process resumes distributed (and vice versa) to exactly the tree an
+// uninterrupted single-process run trains.
+func TestResumeAcrossModeSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e subprocess test")
+	}
+	dir := t.TempDir()
+	ref := train(t, filepath.Join(dir, "ref.json"), "-rounds", "4")
+
+	// In-process for 2 rounds, resume distributed to 4.
+	ckptA := filepath.Join(dir, "a.ckpt.json")
+	train(t, filepath.Join(dir, "a2.json"), "-rounds", "2", "-checkpoint", ckptA)
+	gotA := train(t, filepath.Join(dir, "a4.json"), "-rounds", "4", "-checkpoint", ckptA, "-resume", "-distribute", "2")
+	if !bytes.Equal(ref, gotA) {
+		t.Fatal("in-process → distributed resume diverged from the uninterrupted run")
+	}
+
+	// Distributed for 2 rounds, resume in-process to 4.
+	ckptB := filepath.Join(dir, "b.ckpt.json")
+	train(t, filepath.Join(dir, "b2.json"), "-rounds", "2", "-checkpoint", ckptB, "-distribute", "2")
+	gotB := train(t, filepath.Join(dir, "b4.json"), "-rounds", "4", "-checkpoint", ckptB, "-resume")
+	if !bytes.Equal(ref, gotB) {
+		t.Fatal("distributed → in-process resume diverged from the uninterrupted run")
+	}
+}
+
+// TestWorkerModeExitCodes pins the -worker contract: immediate EOF on stdin
+// is a clean exit (the coordinator closed the stream), so fleet shutdown
+// never reports phantom failures.
+func TestWorkerModeCleanEOF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e subprocess test")
+	}
+	cmd := remyCmd(t, "-worker")
+	cmd.Stdin = bytes.NewReader(nil)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("worker with closed stdin should exit 0, got %v", err)
+	}
+	// The worker still sent its hello before seeing EOF.
+	if stdout.Len() == 0 {
+		t.Fatal("worker exited without sending a hello frame")
+	}
+}

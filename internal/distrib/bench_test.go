@@ -1,0 +1,63 @@
+package distrib
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// benchConfig is a mid-sized design range: 8 specimens so a 2- or 4-process
+// fleet has a real shard per worker, with specimens long enough that
+// simulation work (not per-batch framing) dominates a round, as it does in
+// a real training run.
+func benchConfig() optimizer.ConfigRange {
+	cfg := goldenTrainConfig()
+	cfg.Specimens = 8
+	cfg.SpecimenDuration = 10 * sim.Second
+	return cfg
+}
+
+func benchRemy(backend optimizer.BatchRunner) *optimizer.Remy {
+	r := optimizer.New(benchConfig(), stats.DefaultObjective(1))
+	r.Seed = 42
+	// Workers=1 makes the in-process baseline single-threaded, mirroring the
+	// 1 inner goroutine each worker process runs: the comparison measures
+	// process-level scaling, nothing else.
+	r.Workers = 1
+	r.CandidateRungs = 1
+	r.ImprovementIters = 1
+	r.EpochsPerSplit = 1
+	r.MaxRules = 32
+	r.Backend = backend
+	return r
+}
+
+// BenchmarkDistribRound measures one optimization round in-process versus
+// distributed over 1, 2 and 4 spawned worker processes (re-executions of the
+// test binary). The coordinator and its fleet persist across iterations, so
+// iterations after the first measure the steady warm-worker state a long
+// training run lives in.
+func BenchmarkDistribRound(b *testing.B) {
+	run := func(b *testing.B, backend optimizer.BatchRunner) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := benchRemy(backend).Optimize(nil, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("inprocess", func(b *testing.B) { run(b, nil) })
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			c, err := NewCoordinator(reexecFactory{}, Options{Procs: procs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			run(b, c)
+		})
+	}
+}

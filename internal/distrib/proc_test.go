@@ -1,0 +1,99 @@
+package distrib
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the worker entrypoint: when re-executed with
+// DISTRIB_TEST_WORKER=1 the test binary runs the worker loop on its stdio
+// instead of the test suite — the same single-binary arrangement cmd/remy
+// uses for -worker, without needing cmd/remy built.
+func TestMain(m *testing.M) {
+	if os.Getenv("DISTRIB_TEST_WORKER") == "1" {
+		opts := ServeOptions{Parallel: 1}
+		if s := os.Getenv("DISTRIB_TEST_EXIT_AFTER"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad DISTRIB_TEST_EXIT_AFTER: %v\n", err)
+				os.Exit(1)
+			}
+			opts.ExitAfterBatches = n
+		}
+		switch err := Serve(os.Stdin, os.Stdout, opts); err {
+		case nil:
+			os.Exit(0)
+		case ErrChaosExit:
+			os.Exit(3)
+		default:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// reexecFactory spawns real worker processes by re-executing the test
+// binary through ProcessFactory — the spawned-process transport end to end.
+type reexecFactory struct {
+	// exitAfter, if non-nil, gives a (slot, attempt) incarnation a chaos
+	// exit budget (0 = none).
+	exitAfter func(slot, attempt int) int
+}
+
+func (f reexecFactory) Start(slot, attempt int) (WorkerHandle, error) {
+	pf := ProcessFactory{Path: os.Args[0], Env: []string{"DISTRIB_TEST_WORKER=1"}}
+	if f.exitAfter != nil {
+		if n := f.exitAfter(slot, attempt); n != 0 {
+			pf.Env = append(pf.Env, fmt.Sprintf("DISTRIB_TEST_EXIT_AFTER=%d", n))
+		}
+	}
+	return pf.Start(slot, attempt)
+}
+
+func TestSpawnedProcessWorkersMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and trains; too slow for -short")
+	}
+	fixture, err := os.ReadFile(filepath.Join("..", "optimizer", "testdata", "golden_train.json"))
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	c := newTestCoordinator(t, reexecFactory{}, Options{Procs: 2})
+	got := trainBytes(t, c)
+	if !bytes.Equal(fixture, got) {
+		t.Fatal("training over spawned worker processes differs from the golden fixture")
+	}
+}
+
+func TestSpawnedProcessWorkerKilledMidRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and trains; too slow for -short")
+	}
+	fixture, err := os.ReadFile(filepath.Join("..", "optimizer", "testdata", "golden_train.json"))
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	// Worker 0's first incarnation exits (non-zero, mid-round, without
+	// answering) after three batches; the respawned process takes over.
+	factory := reexecFactory{exitAfter: func(slot, attempt int) int {
+		if slot == 0 && attempt == 0 {
+			return 3
+		}
+		return 0
+	}}
+	c := newTestCoordinator(t, factory, Options{Procs: 2, RetryBackoff: 10 * time.Millisecond})
+	got := trainBytes(t, c)
+	if !bytes.Equal(fixture, got) {
+		t.Fatal("training across a worker-process crash differs from the golden fixture")
+	}
+	st := c.Stats()
+	if st.Respawns != 1 || st.Redispatches == 0 {
+		t.Fatalf("expected exactly one process respawn with re-dispatch, got %+v", st)
+	}
+}

@@ -1,0 +1,223 @@
+// Package distrib is the optimizer's distributed evaluation plane: a
+// coordinator that shards specimen-simulation batches across persistent
+// worker processes, and the worker loop those processes run. The wire
+// protocol is length-prefixed JSON frames — over stdio for locally spawned
+// workers, but the transport is any io.Reader/io.Writer pair, so pointing a
+// worker slot at a TCP connection is a dial, not a redesign.
+//
+// Determinism is the contract: every job (tree, specimen, design config) is
+// self-contained and every worker executes it through the same
+// optimizer.RunBatchLocal code path an in-process run uses, with trees
+// carried in the WhiskerTree JSON codec (whose whisker indexing round-trips
+// exactly, as do all float64 values under encoding/json). The coordinator
+// merges results in job order, so the trained tree is byte-identical to an
+// in-process run at the same seed — at any worker count, and across worker
+// crashes and respawns.
+package distrib
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+)
+
+// ProtocolVersion is bumped on any incompatible change to the frame or
+// message encodings. Coordinator and worker exchange it in the handshake
+// and refuse to proceed on a mismatch — a silent skew between binaries
+// must not produce silently different trees.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds a single frame. Batches carry at most one tree table
+// plus per-job specimens and per-rule usage arrays; 256 MiB is far beyond
+// any legitimate batch and exists to turn a corrupted length prefix into an
+// error instead of an allocation bomb.
+const MaxFrameBytes = 256 << 20
+
+// Frame types.
+const (
+	// TypeHello is the worker's first frame: its protocol version.
+	TypeHello = "hello"
+	// TypeEval carries a batch of jobs coordinator → worker.
+	TypeEval = "eval"
+	// TypeResult carries a batch's results worker → coordinator.
+	TypeResult = "result"
+	// TypeShutdown asks the worker to exit cleanly.
+	TypeShutdown = "shutdown"
+)
+
+// Frame is the tagged union every message travels in. Exactly the field
+// matching Type is populated.
+type Frame struct {
+	Type   string        `json:"type"`
+	Hello  *Hello        `json:"hello,omitempty"`
+	Eval   *EvalRequest  `json:"eval,omitempty"`
+	Result *EvalResponse `json:"result,omitempty"`
+}
+
+// Hello is the worker's handshake: sent once, immediately after start.
+type Hello struct {
+	Version int `json:"version"`
+	// Parallel is the worker's inner simulation pool size (informational).
+	Parallel int `json:"parallel"`
+	PID      int `json:"pid"`
+}
+
+// EvalRequest is one batch of specimen simulations. Candidate trees repeat
+// across a batch's jobs, so they are carried once in a table and referenced
+// by index.
+type EvalRequest struct {
+	// ID matches a response to its request; the coordinator increments it
+	// per dispatched batch (re-dispatches after a crash get a fresh ID).
+	ID uint64 `json:"id"`
+	// Objective is the evaluator configuration the scores depend on.
+	Objective stats.Objective `json:"objective"`
+	// Trees is the batch's candidate-tree table in the WhiskerTree JSON
+	// codec — the same encoding SaveFile and the training checkpoints use.
+	Trees []json.RawMessage `json:"trees"`
+	Jobs  []WireJob         `json:"jobs"`
+}
+
+// WireJob is one (tree, specimen) simulation within a batch.
+type WireJob struct {
+	// Tree indexes the request's tree table.
+	Tree        int                   `json:"tree"`
+	Specimen    optimizer.Specimen    `json:"specimen"`
+	Config      optimizer.ConfigRange `json:"config"`
+	WithSamples bool                  `json:"with_samples,omitempty"`
+}
+
+// EvalResponse carries a batch's per-job results, in job order.
+type EvalResponse struct {
+	ID      uint64       `json:"id"`
+	Results []WireResult `json:"results,omitempty"`
+	// Error reports a batch that could not be executed (bad tree bytes,
+	// invalid config). The coordinator treats it as fatal for the batch —
+	// a malformed request cannot be fixed by retrying.
+	Error string `json:"error,omitempty"`
+}
+
+// WireResult mirrors optimizer.BatchResult. All values are float64/int64
+// and round-trip exactly through JSON.
+type WireResult struct {
+	Sum       float64         `json:"sum"`
+	Flows     int             `json:"flows"`
+	Counts    []int64         `json:"counts"`
+	Consulted []bool          `json:"consulted"`
+	Samples   [][]core.Memory `json:"samples,omitempty"`
+}
+
+// Conn frames messages over a byte stream: a 4-byte big-endian length
+// prefix followed by the frame's JSON. Reads and writes are each serialized
+// by their own mutex, so one goroutine may read while another writes.
+type Conn struct {
+	rmu sync.Mutex
+	r   *bufio.Reader
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewConn wraps a read/write pair (a spawned process's stdout/stdin, a
+// net.Conn, an in-memory pipe) in the frame codec.
+func NewConn(r io.Reader, w io.Writer) *Conn {
+	return &Conn{r: bufio.NewReaderSize(r, 1<<16), w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteFrame encodes and sends one frame.
+func (c *Conn) WriteFrame(f *Frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding %s frame: %w", f.Type, err)
+	}
+	if len(data) > MaxFrameBytes {
+		return fmt.Errorf("distrib: %s frame of %d bytes exceeds the %d-byte limit", f.Type, len(data), MaxFrameBytes)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// ReadFrame reads and decodes the next frame. It returns io.EOF only on a
+// clean boundary (no partial frame consumed); a stream that dies mid-frame
+// surfaces as io.ErrUnexpectedEOF.
+func (c *Conn) ReadFrame() (*Frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("distrib: stream died mid-header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("distrib: frame length %d exceeds the %d-byte limit (corrupt stream?)", n, MaxFrameBytes)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(c.r, data); err != nil {
+		return nil, fmt.Errorf("distrib: stream died mid-frame: %w", err)
+	}
+	f := &Frame{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("distrib: decoding frame: %w", err)
+	}
+	return f, nil
+}
+
+// encodeJobs converts a coordinator-side job slice to the wire form,
+// deduplicating trees by identity into the request's tree table. Job order
+// is preserved — the response's results line up index for index.
+func encodeJobs(jobs []optimizer.BatchJob) ([]json.RawMessage, []WireJob, error) {
+	trees := make([]json.RawMessage, 0, 4)
+	index := make(map[*core.WhiskerTree]int, 4)
+	wire := make([]WireJob, len(jobs))
+	for i, j := range jobs {
+		ti, ok := index[j.Tree]
+		if !ok {
+			data, err := json.Marshal(j.Tree)
+			if err != nil {
+				return nil, nil, fmt.Errorf("distrib: encoding tree: %w", err)
+			}
+			ti = len(trees)
+			trees = append(trees, data)
+			index[j.Tree] = ti
+		}
+		wire[i] = WireJob{Tree: ti, Specimen: j.Specimen, Config: j.Config, WithSamples: j.WithSamples}
+	}
+	return trees, wire, nil
+}
+
+// decodeJobs is the worker-side inverse of encodeJobs.
+func decodeJobs(req *EvalRequest) ([]optimizer.BatchJob, error) {
+	trees := make([]*core.WhiskerTree, len(req.Trees))
+	for i, raw := range req.Trees {
+		t := &core.WhiskerTree{}
+		if err := json.Unmarshal(raw, t); err != nil {
+			return nil, fmt.Errorf("distrib: decoding tree %d: %w", i, err)
+		}
+		trees[i] = t
+	}
+	jobs := make([]optimizer.BatchJob, len(req.Jobs))
+	for i, wj := range req.Jobs {
+		if wj.Tree < 0 || wj.Tree >= len(trees) {
+			return nil, fmt.Errorf("distrib: job %d references tree %d of %d", i, wj.Tree, len(trees))
+		}
+		jobs[i] = optimizer.BatchJob{Tree: trees[wj.Tree], Specimen: wj.Specimen, Config: wj.Config, WithSamples: wj.WithSamples}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,74 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// ProcessFactory spawns local worker processes speaking the protocol over
+// their stdio. cmd/remy points it at its own binary with the -worker flag,
+// so one build artifact is both coordinator and worker.
+type ProcessFactory struct {
+	// Path is the worker binary.
+	Path string
+	// Args are passed to every worker.
+	Args []string
+	// ArgsFor, if non-nil, appends per-(slot, attempt) arguments — how the
+	// chaos smoke gives exactly one incarnation of one worker an
+	// exit-after-N-batches flag.
+	ArgsFor func(slot, attempt int) []string
+	// Env entries are appended to the parent environment.
+	Env []string
+	// Stderr receives the workers' stderr (default os.Stderr), so worker
+	// logs surface in the coordinator's terminal.
+	Stderr io.Writer
+}
+
+// Start implements Factory.
+func (f ProcessFactory) Start(slot, attempt int) (WorkerHandle, error) {
+	args := append([]string(nil), f.Args...)
+	if f.ArgsFor != nil {
+		args = append(args, f.ArgsFor(slot, attempt)...)
+	}
+	cmd := exec.Command(f.Path, args...)
+	cmd.Env = append(os.Environ(), f.Env...)
+	if f.Stderr != nil {
+		cmd.Stderr = f.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("distrib: worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("distrib: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("distrib: starting %s: %w", f.Path, err)
+	}
+	return &procHandle{cmd: cmd, conn: NewConn(stdout, stdin), stdin: stdin}, nil
+}
+
+// procHandle is a spawned worker process. Killing it closes its pipes,
+// which unblocks any coordinator read in flight — the property the batch
+// watchdog relies on.
+type procHandle struct {
+	cmd   *exec.Cmd
+	conn  *Conn
+	stdin io.Closer
+}
+
+func (h *procHandle) Conn() *Conn { return h.conn }
+
+func (h *procHandle) Kill() {
+	h.stdin.Close()
+	if h.cmd.Process != nil {
+		h.cmd.Process.Kill()
+	}
+}
+
+func (h *procHandle) Wait() error { return h.cmd.Wait() }

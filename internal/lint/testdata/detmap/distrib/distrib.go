@@ -1,0 +1,16 @@
+// Package distrib is a detmap fixture: walltime allowlists this path
+// element, but it stays result-affecting — an unordered map iteration in
+// the coordinator could reorder merged batch results.
+package distrib
+
+func flagged(m map[int][]int, sink func([]int)) {
+	for _, idxs := range m { // want `range over map has nondeterministic iteration order`
+		sink(idxs)
+	}
+}
+
+func cleanSliceRange(groups [][]int, sink func([]int)) {
+	for _, idxs := range groups {
+		sink(idxs)
+	}
+}

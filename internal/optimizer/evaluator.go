@@ -74,6 +74,16 @@ func (s EvalStats) Add(o EvalStats) EvalStats {
 	}
 }
 
+// Sub returns the component-wise difference s − o (for deriving one round's
+// counters from two cumulative snapshots).
+func (s EvalStats) Sub(o EvalStats) EvalStats {
+	return EvalStats{
+		SimulatedRuns: s.SimulatedRuns - o.SimulatedRuns,
+		CacheHits:     s.CacheHits - o.CacheHits,
+		PrunedRuns:    s.PrunedRuns - o.PrunedRuns,
+	}
+}
+
 // CacheHitRate returns the fraction of evaluations served from the cache.
 func (s EvalStats) CacheHitRate() float64 {
 	total := s.SimulatedRuns + s.CacheHits + s.PrunedRuns
@@ -227,6 +237,13 @@ type Evaluator struct {
 	// MaxCacheEntries bounds the memo cache; <= 0 means
 	// DefaultMaxCacheEntries. Exceeding the bound clears the cache.
 	MaxCacheEntries int
+	// Backend, when non-nil, executes pending simulation batches instead of
+	// the in-process runner pool — the seam the distributed evaluation plane
+	// (internal/distrib) plugs into. A Backend must be exact: its results
+	// must be bit-identical to RunBatchLocal's for every job. The memo cache
+	// and usage pruning stay on this side of the seam, so only genuine
+	// simulations cross it.
+	Backend BatchRunner
 
 	mu    sync.Mutex
 	cache map[evalKey]*specimenResult
@@ -333,35 +350,10 @@ func specFor(tree *core.WhiskerTree, spec Specimen, cfg ConfigRange, rec core.Us
 	)
 }
 
-// runner returns the scenario runner specimen evaluations execute through.
-func (e *Evaluator) runner() scenario.Runner {
-	workers := e.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	return scenario.Runner{Workers: workers}
-}
-
-// scoreResult converts one specimen run into the summed per-flow utilities
-// and the number of flows that contributed.
-func (e *Evaluator) scoreResult(res scenario.Result, spec Specimen) (float64, int) {
-	fairShare := spec.LinkRateBps / float64(spec.Senders)
-	var sum float64
-	flows := 0
-	for _, f := range res.Res.Flows {
-		if f.Metrics.OnDuration <= 0 {
-			continue
-		}
-		flows++
-		sum += e.flowUtility(f.Metrics, fairShare)
-	}
-	return sum, flows
-}
-
 // flowUtility evaluates Equation 1 for one flow, normalizing throughput by
 // the fair share of the bottleneck and delay by the flow's minimum RTT so
 // scores are comparable across specimens with different scales.
-func (e *Evaluator) flowUtility(m stats.FlowMetrics, fairShareBps float64) float64 {
+func flowUtility(objective stats.Objective, m stats.FlowMetrics, fairShareBps float64) float64 {
 	const epsilon = 1e-6
 	tput := m.ThroughputBps / fairShareBps
 	if tput < epsilon {
@@ -374,11 +366,20 @@ func (e *Evaluator) flowUtility(m stats.FlowMetrics, fairShareBps float64) float
 			delay = 1
 		}
 	}
-	u := e.Objective.Score(tput, delay)
+	u := objective.Score(tput, delay)
 	if math.IsInf(u, -1) || math.IsNaN(u) {
 		u = -1e9
 	}
 	return u
+}
+
+// runBatch resolves a batch of pending simulations through the configured
+// backend, or in-process when none is set.
+func (e *Evaluator) runBatch(jobs []BatchJob) ([]BatchResult, error) {
+	if e.Backend != nil {
+		return e.Backend.RunBatch(e.Objective, jobs)
+	}
+	return RunBatchLocal(e.Objective, e.Workers, jobs)
 }
 
 // evaluateTrees resolves the per-specimen result of every (tree, specimen)
@@ -396,14 +397,12 @@ func (e *Evaluator) evaluateTrees(trees []*core.WhiskerTree, specimens []Specime
 
 	type ref struct{ ti, si int }
 	var (
-		specs      []scenario.Spec
-		collectors []*usageCollector
-		pendKeys   []evalKey
-		pendRefs   [][]ref
+		jobs     []BatchJob
+		pendKeys []evalKey
+		pendRefs [][]ref
 	)
 	pendingByKey := make(map[evalKey]int)
 	for ti, tree := range trees {
-		n := tree.NumWhiskers()
 		for si, sp := range specimens {
 			k := evalKey{tree: keys[ti], spec: sp, cfg: cfg}
 			if r := e.cacheGet(k, withSamples); r != nil {
@@ -414,32 +413,30 @@ func (e *Evaluator) evaluateTrees(trees []*core.WhiskerTree, specimens []Specime
 				pendRefs[pi] = append(pendRefs[pi], ref{ti, si})
 				continue
 			}
-			u := newUsageCollector(n, withSamples)
-			pendingByKey[k] = len(specs)
-			specs = append(specs, specFor(tree, sp, cfg, u))
-			collectors = append(collectors, u)
+			pendingByKey[k] = len(jobs)
+			jobs = append(jobs, BatchJob{Tree: tree, Specimen: sp, Config: cfg, WithSamples: withSamples, Affinity: si})
 			pendKeys = append(pendKeys, k)
 			pendRefs = append(pendRefs, []ref{{ti, si}})
 		}
 	}
 
-	if len(specs) > 0 {
-		results, err := e.runner().RunAll(specs)
+	if len(jobs) > 0 {
+		results, err := e.runBatch(jobs)
 		if err != nil {
 			return nil, err
 		}
-		for pi, r := range results {
-			si := pendRefs[pi][0].si
-			sum, flows := e.scoreResult(r, specimens[si])
-			u := collectors[pi]
-			res := &specimenResult{sum: sum, flows: flows, counts: u.counts, consulted: u.consulted, samples: u.samples}
+		if len(results) != len(jobs) {
+			return nil, fmt.Errorf("optimizer: batch backend returned %d results for %d jobs", len(results), len(jobs))
+		}
+		for pi, br := range results {
+			res := &specimenResult{sum: br.Sum, flows: br.Flows, counts: br.Counts, consulted: br.Consulted, samples: br.Samples}
 			e.cachePut(pendKeys[pi], res)
 			for _, rf := range pendRefs[pi] {
 				out[rf.ti][rf.si] = res
 			}
 		}
 		e.mu.Lock()
-		e.stats.SimulatedRuns += int64(len(specs))
+		e.stats.SimulatedRuns += int64(len(jobs))
 		e.mu.Unlock()
 	}
 	return out, nil

@@ -32,6 +32,10 @@ type Progress struct {
 	Improved  int // actions improved this round
 	DidSplit  bool
 	Evaluated int // candidate trees evaluated this round
+	// Stats holds this round's evaluator counters (not cumulative): how
+	// many specimen simulations actually ran and how many were served by
+	// the memo cache or avoided by usage pruning.
+	Stats EvalStats
 }
 
 func (p Progress) String() string {
@@ -63,8 +67,18 @@ type Remy struct {
 	// are zero for a fresh run.
 	StartRound int
 	StartEpoch int
+	// Backend, when non-nil, executes specimen simulation batches instead
+	// of the in-process pool (see Evaluator.Backend). Switching backends —
+	// in-process one run, distributed the next — never changes the trained
+	// tree, so it composes freely with checkpoint/resume.
+	Backend BatchRunner
 	// Logf, if non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// OnRound, if non-nil, observes each round's Progress (with its
+	// per-round evaluator counters) as soon as the round completes. cmd/remy
+	// uses it for wall-clock progress reporting, which must live outside
+	// this package: the optimizer itself never reads the wall clock.
+	OnRound func(Progress)
 
 	epoch     int
 	evalStats EvalStats
@@ -121,6 +135,7 @@ func (r *Remy) Optimize(start *core.WhiskerTree, rounds int) (*core.WhiskerTree,
 
 	eval := NewEvaluator(r.Objective)
 	eval.Workers = r.Workers
+	eval.Backend = r.Backend
 	r.epoch = r.StartEpoch
 
 	// Burn the specimen streams of already-completed rounds so a resumed
@@ -131,6 +146,7 @@ func (r *Remy) Optimize(start *core.WhiskerTree, rounds int) (*core.WhiskerTree,
 	}
 
 	var progress []Progress
+	var prevStats EvalStats
 	for i := 0; i < rounds; i++ {
 		round := r.StartRound + i
 		specimens := r.Config.SampleSet(r.Config.Specimens, rng.Split(int64(round)))
@@ -138,8 +154,14 @@ func (r *Remy) Optimize(start *core.WhiskerTree, rounds int) (*core.WhiskerTree,
 		if err != nil {
 			return nil, nil, err
 		}
+		cum := eval.Stats()
+		p.Stats = cum.Sub(prevStats)
+		prevStats = cum
 		progress = append(progress, p)
 		r.logf("%s", p)
+		if r.OnRound != nil {
+			r.OnRound(p)
+		}
 	}
 	r.evalStats = eval.Stats()
 	r.logf("evaluator: %s", r.evalStats)
